@@ -1,0 +1,58 @@
+//! Criterion benches for the cryptographic primitives — the hot inner
+//! loops of the simulator's functional datapath.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fsencr_crypto::ctr::line_pad_with;
+use fsencr_crypto::{hmac_sha256, pbkdf2_hmac_sha256, sha256, Aes128, Key128, PadDomain, PadInput};
+
+fn bench_aes(c: &mut Criterion) {
+    let aes = Aes128::new(&Key128::from_seed(1));
+    let block = [0x42u8; 16];
+    c.bench_function("aes128_encrypt_block", |b| {
+        b.iter(|| aes.encrypt_block(black_box(block)))
+    });
+    c.bench_function("aes128_decrypt_block", |b| {
+        let ct = aes.encrypt_block(block);
+        b.iter(|| aes.decrypt_block(black_box(ct)))
+    });
+    c.bench_function("aes128_key_schedule", |b| {
+        let key = Key128::from_seed(7);
+        b.iter(|| Aes128::new(black_box(&key)))
+    });
+}
+
+fn bench_pad(c: &mut Criterion) {
+    let aes = Aes128::new(&Key128::from_seed(2));
+    let input = PadInput {
+        page_id: 0x1234,
+        block_in_page: 7,
+        major: 3,
+        minor: 9,
+        domain: PadDomain::File,
+    };
+    c.bench_function("ctr_line_pad_64B", |b| {
+        b.iter(|| line_pad_with(&aes, black_box(&input)))
+    });
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let line = [0xabu8; 64];
+    c.bench_function("sha256_64B_line", |b| b.iter(|| sha256(black_box(&line))));
+    let page = vec![0xcdu8; 4096];
+    c.bench_function("sha256_4KB_page", |b| b.iter(|| sha256(black_box(&page))));
+    c.bench_function("hmac_sha256_64B", |b| {
+        b.iter(|| hmac_sha256(black_box(b"key"), black_box(&line)))
+    });
+    c.bench_function("pbkdf2_16_iters", |b| {
+        b.iter(|| {
+            let mut dk = [0u8; 16];
+            pbkdf2_hmac_sha256(black_box(b"passphrase"), b"salt", 16, &mut dk);
+            dk
+        })
+    });
+}
+
+criterion_group!(benches, bench_aes, bench_pad, bench_hash);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Experiment driver: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! harness <experiment> [scale]
+//!
+//! experiments:
+//!   fig3        software-encryption overhead (Whisper)
+//!   fig8-10     PMEMKV slowdown / writes / reads
+//!   fig11       Whisper slowdown / writes / reads + reduction
+//!   fig12-14    DAX micro-benchmarks
+//!   fig15       metadata-cache sensitivity
+//!   table1      vulnerability matrix
+//!   params      Table III simulation parameters
+//!   list        Table II workload descriptions
+//!   ablation-ott / ablation-osiris / ablation-direct / ablation-partition
+//!   all         everything above (slow)
+//! ```
+//!
+//! `scale` in (0, 1] shrinks operation counts; default 1.0. Run with
+//! `--release`.
+
+use fsencr_bench as exp;
+use fsencr_sim::MachineConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: harness <fig3|fig8-10|fig11|fig12-14|fig15|table1|params|list|ablation-ott|ablation-osiris|ablation-direct|ablation-partition|all> [scale]"
+    );
+    std::process::exit(2);
+}
+
+fn params() {
+    let cfg = MachineConfig::paper_defaults();
+    println!("\n=== Table III: simulation parameters ===");
+    println!("CPU: {} cores @ {} MHz, out-of-order x86-64 (modelled request-level)", cfg.cpu.cores, cfg.cpu.freq_mhz);
+    for (name, c) in [("L1", cfg.cpu.l1), ("L2", cfg.cpu.l2), ("L3", cfg.cpu.l3)] {
+        println!(
+            "{name}: {} KiB, {}-way, {}B lines, {} cycles",
+            c.size_bytes / 1024,
+            c.ways,
+            c.block_bytes,
+            c.latency_cycles
+        );
+    }
+    let n = cfg.nvm;
+    println!(
+        "NVM: {} GiB PCM, {} ranks/ch x {} banks, {} B row buffer, read {} ns / write {} ns",
+        n.capacity_bytes >> 30,
+        n.ranks_per_channel,
+        n.banks_per_rank,
+        n.row_buffer_bytes,
+        n.read_ns,
+        n.write_ns
+    );
+    println!(
+        "timing: tRCD {} ns, tCL {} ns, tBURST {} ns, tWR {} ns",
+        n.t_rcd_ns, n.t_cl_ns, n.t_burst_ns, n.t_wr_ns
+    );
+    let s = cfg.security;
+    println!(
+        "security: AES {} ns, metadata cache {} KiB {}-way, Merkle {}-ary (<= {} levels), OTT {} entries @ {} cycles, Osiris stop-loss {}",
+        s.aes_ns,
+        s.metadata_cache.size_bytes / 1024,
+        s.metadata_cache.ways,
+        s.merkle_arity,
+        s.merkle_levels,
+        s.ott_entries(),
+        s.ott_latency_cycles,
+        s.osiris_stop_loss
+    );
+}
+
+fn list() {
+    println!("\n=== Table II: benchmark descriptions ===");
+    let rows = [
+        ("DAX-1", "reads 1 byte after each 16 bytes of a persistent DAX file"),
+        ("DAX-2", "reads 1 byte after each 128 bytes of a persistent DAX file"),
+        ("DAX-3", "initialises two 16 B arrays at two locations and swaps them"),
+        ("DAX-4", "initialises two 128 B arrays at two locations and swaps them"),
+        ("Fillseq-S/L", "btree loads values (64 B / 4 KiB) in sequential key order"),
+        ("Fillrandom-S/L", "btree loads values in random key order"),
+        ("Overwrite-S/L", "btree replaces values in random key order"),
+        ("Readrandom-S/L", "btree reads values in random key order"),
+        ("Readseq-S/L", "btree reads values via an in-order leaf scan"),
+        ("YCSB", "zipfian 50/50 read/update over a persistent hashmap, 2 workers"),
+        ("Hashmap", "insert/lookup mix, 128 B records, 2 threads"),
+        ("CTree", "insert/lookup mix on a persistent binary tree, 128 B, 2 threads"),
+    ];
+    for (name, desc) in rows {
+        println!("{name:16} {desc}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(which) = args.get(1) else { usage() };
+    let scale: f64 = args
+        .get(2)
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(1.0);
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+
+    let t0 = std::time::Instant::now();
+    match which.as_str() {
+        "fig3" => println!("{}", exp::fig3(scale)),
+        "fig8-10" | "fig8" | "fig9" | "fig10" => {
+            let (a, b, c) = exp::fig8_9_10(scale);
+            println!("{a}{b}{c}");
+        }
+        "fig11" => {
+            let (a, b, c, d) = exp::fig11(scale);
+            println!("{a}{b}{c}{d}");
+        }
+        "fig12-14" | "fig12" | "fig13" | "fig14" => {
+            let (a, b, c) = exp::fig12_13_14(scale);
+            println!("{a}{b}{c}");
+        }
+        "fig15" => println!("{}", exp::fig15(scale)),
+        "table1" => println!("{}", exp::table1()),
+        "params" => params(),
+        "list" => list(),
+        "ablation-ott" => println!("{}", exp::ablation_ott(scale)),
+        "ablation-osiris" => println!("{}", exp::ablation_osiris(scale)),
+        "ablation-direct" => println!("{}", exp::ablation_direct(scale)),
+        "ablation-partition" => println!("{}", exp::ablation_partition(scale)),
+        "all" => {
+            params();
+            list();
+            println!("{}", exp::table1());
+            println!("{}", exp::fig3(scale));
+            let (a, b, c) = exp::fig8_9_10(scale);
+            println!("{a}{b}{c}");
+            let (a, b, c, d) = exp::fig11(scale);
+            println!("{a}{b}{c}{d}");
+            let (a, b, c) = exp::fig12_13_14(scale);
+            println!("{a}{b}{c}");
+            println!("{}", exp::fig15(scale));
+            println!("{}", exp::ablation_ott(scale));
+            println!("{}", exp::ablation_osiris(scale));
+            println!("{}", exp::ablation_direct(scale));
+            println!("{}", exp::ablation_partition(scale));
+        }
+        _ => usage(),
+    }
+    eprintln!("[harness] completed in {:.1?}", t0.elapsed());
+}

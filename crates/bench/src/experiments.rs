@@ -1,0 +1,490 @@
+//! The experiments: one function per paper table/figure, plus ablations.
+
+use fsencr::machine::{Machine, MachineOpts, SecurityMode};
+use fsencr::security;
+use fsencr_crypto::Key128;
+use fsencr_fs::{GroupId, Mode, UserId};
+use fsencr_workloads::daxmicro::{DaxStride, DaxSwap};
+use fsencr_workloads::driver::{run_workload, Workload};
+use fsencr_workloads::pmemkv::{DbBench, PmemKv};
+use fsencr_workloads::whisper::{CtreeBench, HashmapBench, Ycsb};
+
+use crate::table::Figure;
+
+fn scaled(n: u64, scale: f64) -> u64 {
+    ((n as f64 * scale) as u64).max(32)
+}
+
+fn run(mode: SecurityMode, w: &mut dyn Workload) -> fsencr::machine::RunStats {
+    run_workload(MachineOpts::benchmark(), mode, w)
+        .unwrap_or_else(|e| panic!("{} under {mode}: {e}", w.name()))
+        .stats
+}
+
+fn run_with(
+    opts: MachineOpts,
+    mode: SecurityMode,
+    w: &mut dyn Workload,
+) -> fsencr::machine::RunStats {
+    run_workload(opts, mode, w)
+        .unwrap_or_else(|e| panic!("{} under {mode}: {e}", w.name()))
+        .stats
+}
+
+type Factory = Box<dyn Fn() -> Box<dyn Workload>>;
+
+fn whisper_factories(scale: f64) -> Vec<(String, Factory)> {
+    let n = scaled(16 * 1024, scale);
+    vec![
+        (
+            "YCSB".to_string(),
+            Box::new(move || Box::new(Ycsb::new(n, n, 2)) as Box<dyn Workload>) as Factory,
+        ),
+        (
+            "Hashmap".to_string(),
+            Box::new(move || Box::new(HashmapBench::new(n, 2)) as Box<dyn Workload>),
+        ),
+        (
+            "CTree".to_string(),
+            Box::new(move || Box::new(CtreeBench::new(n, 2)) as Box<dyn Workload>),
+        ),
+    ]
+}
+
+fn pmemkv_factories(scale: f64) -> Vec<(String, Factory)> {
+    let mut out: Vec<(String, Factory)> = Vec::new();
+    for bench in [
+        DbBench::FillRandom,
+        DbBench::FillSeq,
+        DbBench::Overwrite,
+        DbBench::ReadRandom,
+        DbBench::ReadSeq,
+    ] {
+        for large in [false, true] {
+            let (value, keys, ops) = if large {
+                (4096usize, scaled(3072, scale), scaled(3072, scale))
+            } else {
+                (64usize, scaled(32768, scale), scaled(16384, scale))
+            };
+            let name = PmemKv::new(bench, value, 32, 32, 2).name();
+            out.push((
+                name,
+                Box::new(move || {
+                    Box::new(PmemKv::new(bench, value, keys, ops, 2)) as Box<dyn Workload>
+                }),
+            ));
+        }
+    }
+    out
+}
+
+fn daxmicro_factories(scale: f64) -> Vec<(String, Factory)> {
+    let file = ((24 << 20) as f64 * scale.max(0.2)) as u64 / 4096 * 4096;
+    let reads = scaled(400_000, scale);
+    let swaps = scaled(60_000, scale);
+    vec![
+        (
+            "DAX-1".to_string(),
+            Box::new(move || Box::new(DaxStride::new(16, file, reads)) as Box<dyn Workload>) as Factory,
+        ),
+        (
+            "DAX-2".to_string(),
+            Box::new(move || Box::new(DaxStride::new(128, file, reads)) as Box<dyn Workload>),
+        ),
+        (
+            "DAX-3".to_string(),
+            Box::new(move || Box::new(DaxSwap::new(16, file, swaps)) as Box<dyn Workload>),
+        ),
+        (
+            "DAX-4".to_string(),
+            Box::new(move || Box::new(DaxSwap::new(128, file, swaps)) as Box<dyn Workload>),
+        ),
+    ]
+}
+
+/// Figure 3: slowdown of software filesystem encryption (eCryptfs model)
+/// over plain ext4-DAX, Whisper benchmarks.
+pub fn fig3(scale: f64) -> Figure {
+    let mut fig = Figure::new(
+        "Figure 3: software-encryption slowdown (normalized to ext4-dax)",
+        vec!["slowdown".to_string()],
+    );
+    for (name, factory) in whisper_factories(scale) {
+        let dax = run(SecurityMode::Unencrypted, factory().as_mut());
+        let soft = run(SecurityMode::Software, factory().as_mut());
+        fig.push(name, vec![soft.cycles as f64 / dax.cycles as f64]);
+    }
+    fig
+}
+
+fn normalized_figures(
+    tag: &str,
+    factories: Vec<(String, Factory)>,
+) -> (Figure, Figure, Figure) {
+    let mut slow = Figure::new(
+        format!("{tag}: FsEncr slowdown (normalized to baseline security)"),
+        vec!["slowdown".to_string()],
+    );
+    let mut writes = Figure::new(
+        format!("{tag}: NVM writes (normalized to baseline security)"),
+        vec!["writes".to_string()],
+    );
+    let mut reads = Figure::new(
+        format!("{tag}: NVM reads (normalized to baseline security)"),
+        vec!["reads".to_string()],
+    );
+    for (name, factory) in factories {
+        let base = run(SecurityMode::MemoryOnly, factory().as_mut());
+        let fse = run(SecurityMode::FsEncr, factory().as_mut());
+        slow.push(name.clone(), vec![fse.cycles as f64 / base.cycles as f64]);
+        writes.push(
+            name.clone(),
+            vec![fse.nvm_writes.max(1) as f64 / base.nvm_writes.max(1) as f64],
+        );
+        reads.push(
+            name,
+            vec![fse.nvm_reads.max(1) as f64 / base.nvm_reads.max(1) as f64],
+        );
+    }
+    (slow, writes, reads)
+}
+
+/// Figures 8, 9, 10: PMEMKV slowdown / writes / reads, FsEncr normalized
+/// to baseline security.
+pub fn fig8_9_10(scale: f64) -> (Figure, Figure, Figure) {
+    normalized_figures("Figures 8-10 (PMEMKV)", pmemkv_factories(scale))
+}
+
+/// Figure 11 (a,b,c): Whisper slowdown / writes / reads, plus the
+/// software-encryption comparison the text quotes (98.33% overhead
+/// reduction).
+pub fn fig11(scale: f64) -> (Figure, Figure, Figure, Figure) {
+    let (slow, writes, reads) = normalized_figures("Figure 11 (Whisper)", whisper_factories(scale));
+    let mut reduction = Figure::new(
+        "Figure 11 (text): FsEncr reduction of filesystem-encryption overhead vs software [%]",
+        vec!["reduction %".to_string()],
+    );
+    for (name, factory) in whisper_factories(scale) {
+        let dax = run(SecurityMode::Unencrypted, factory().as_mut());
+        let base = run(SecurityMode::MemoryOnly, factory().as_mut());
+        let fse = run(SecurityMode::FsEncr, factory().as_mut());
+        let soft = run(SecurityMode::Software, factory().as_mut());
+        let ov_soft = soft.cycles as f64 / dax.cycles as f64 - 1.0;
+        let ov_fse = (fse.cycles as f64 / base.cycles as f64 - 1.0).max(0.0);
+        let red = 100.0 * (1.0 - ov_fse / ov_soft.max(1e-9));
+        reduction.push(name, vec![red]);
+    }
+    (slow, writes, reads, reduction)
+}
+
+/// Figures 12, 13, 14: synthetic DAX micro-benchmarks, FsEncr normalized
+/// to baseline security.
+pub fn fig12_13_14(scale: f64) -> (Figure, Figure, Figure) {
+    normalized_figures("Figures 12-14 (DAX micro)", daxmicro_factories(scale))
+}
+
+/// Figure 15: sensitivity of FsEncr overhead to metadata-cache size for
+/// Fillrandom-L, Hashmap and DAX-2. Values are percent slowdown over the
+/// baseline-security machine with the *same* cache size.
+pub fn fig15(scale: f64) -> Figure {
+    let sizes: &[(usize, &str)] = &[
+        (128 << 10, "128KB"),
+        (256 << 10, "256KB"),
+        (512 << 10, "512KB"),
+        (1 << 20, "1MB"),
+        (2 << 20, "2MB"),
+    ];
+    let mut fig = Figure::new(
+        "Figure 15: FsEncr slowdown [%] vs metadata-cache size",
+        sizes.iter().map(|(_, n)| n.to_string()).collect(),
+    );
+    let n_large = scaled(3072, scale);
+    let n_ops = scaled(16 * 1024, scale);
+    let file = ((24 << 20) as f64 * scale.max(0.2)) as u64 / 4096 * 4096;
+    let reads = scaled(400_000, scale);
+    let workloads: Vec<(String, Factory)> = vec![
+        (
+            "Fillrandom-L".to_string(),
+            Box::new(move || {
+                Box::new(PmemKv::new(DbBench::FillRandom, 4096, n_large, n_large, 2))
+                    as Box<dyn Workload>
+            }) as Factory,
+        ),
+        (
+            "Hashmap".to_string(),
+            Box::new(move || Box::new(HashmapBench::new(n_ops, 2)) as Box<dyn Workload>),
+        ),
+        (
+            "DAX-2".to_string(),
+            Box::new(move || Box::new(DaxStride::new(128, file, reads)) as Box<dyn Workload>),
+        ),
+    ];
+    for (name, factory) in workloads {
+        let mut row = Vec::new();
+        for (bytes, _) in sizes {
+            let opts = MachineOpts::benchmark();
+            let opts = MachineOpts {
+                config: opts.config.with_metadata_cache_bytes(*bytes),
+                ..opts
+            };
+            let base = run_with(opts, SecurityMode::MemoryOnly, factory().as_mut());
+            let fse = run_with(opts, SecurityMode::FsEncr, factory().as_mut());
+            row.push(100.0 * (fse.cycles as f64 / base.cycles as f64 - 1.0));
+        }
+        fig.push(name, row);
+    }
+    fig
+}
+
+const SECRET: &[u8] = b"CLASSIFIED-RECORD-FOR-TABLE-I";
+
+fn secret_machine(mode: SecurityMode, extra_file: bool) -> (Machine, Key128, Option<Key128>) {
+    let mut m = Machine::new(MachineOpts::small_test(), mode);
+    let user = UserId::new(1);
+    let h = m
+        .create(user, GroupId::new(1), "secret", Mode::PRIVATE, Some("pw"))
+        .expect("create");
+    let fek = h.fek.unwrap_or(Key128::from_seed(0));
+    let map = m.mmap(&h).expect("mmap");
+    m.write(0, map, 0, SECRET).expect("write");
+    m.persist(0, map, 0, SECRET.len() as u64).expect("persist");
+    let other = if extra_file {
+        let h2 = m
+            .create(user, GroupId::new(1), "other", Mode::PRIVATE, Some("pw2"))
+            .expect("create2");
+        let map2 = m.mmap(&h2).expect("mmap2");
+        m.write(0, map2, 0, b"unrelated").expect("write2");
+        m.persist(0, map2, 0, 9).expect("persist2");
+        h2.fek
+    } else {
+        None
+    };
+    m.shutdown_flush().expect("flush");
+    (m, fek, other)
+}
+
+/// Table I: vulnerability of systems A (memory encryption only), B (one
+/// filesystem key) and C (per-file keys) as the attacker accumulates
+/// keys. 1 = the secret is exposed, 0 = protected.
+pub fn table1() -> Figure {
+    let mut fig = Figure::new(
+        "Table I: vulnerability (1 = secret exposed)",
+        vec!["System A".to_string(), "System B".to_string(), "System C".to_string()],
+    );
+    fig.summarize = false;
+
+    // System A: memory encryption only.
+    let (ma, _, _) = secret_machine(SecurityMode::MemoryOnly, false);
+    // System B: whole-filesystem key, modelled as FsEncr with the single
+    // shared key protecting the secret.
+    let (mb, fs_key, _) = secret_machine(SecurityMode::FsEncr, false);
+    // System C: per-file keys; the attacker's "single filesystem key" is
+    // some *other* file's key.
+    let (mc, file_key, other_key) = secret_machine(SecurityMode::FsEncr, true);
+    let other_key = other_key.expect("extra file");
+
+    let mem_a = ma.mem_key();
+    let mem_b = mb.mem_key();
+    let mem_c = mc.mem_key();
+
+    let leak = |m: &Machine, mem: &Key128, keys: &[Key128]| -> f64 {
+        security::attacker_decrypts(m, mem, keys, SECRET) as u8 as f64
+    };
+
+    fig.push(
+        "memory key revealed",
+        vec![
+            leak(&ma, &mem_a, &[]),
+            leak(&mb, &mem_b, &[]),
+            leak(&mc, &mem_c, &[]),
+        ],
+    );
+    fig.push(
+        "+ single fs key revealed",
+        vec![
+            leak(&ma, &mem_a, &[]),
+            leak(&mb, &mem_b, &[fs_key]),
+            leak(&mc, &mem_c, &[other_key]),
+        ],
+    );
+    fig.push(
+        "+ all file keys revealed",
+        vec![
+            leak(&ma, &mem_a, &[]),
+            leak(&mb, &mem_b, &[fs_key]),
+            leak(&mc, &mem_c, &[other_key, file_key]),
+        ],
+    );
+    fig
+}
+
+/// Ablation: OTT lookup latency (the paper trades 1 cycle for 20 to save
+/// power — how far can that go?).
+pub fn ablation_ott(scale: f64) -> Figure {
+    let mut fig = Figure::new(
+        "Ablation: OTT lookup latency vs YCSB slowdown over baseline",
+        vec!["slowdown".to_string()],
+    );
+    let n = scaled(8 * 1024, scale);
+    let base = {
+        let mut w = Ycsb::new(n, n, 2);
+        run(SecurityMode::MemoryOnly, &mut w)
+    };
+    for lat in [1u64, 20, 100, 400] {
+        let mut opts = MachineOpts::benchmark();
+        opts.config.security.ott_latency_cycles = lat;
+        let mut w = Ycsb::new(n, n, 2);
+        let fse = run_with(opts, SecurityMode::FsEncr, &mut w);
+        fig.push(
+            format!("ott-latency-{lat}"),
+            vec![fse.cycles as f64 / base.cycles as f64],
+        );
+    }
+    fig
+}
+
+/// Ablation: Osiris stop-loss period vs write-heavy overhead (persisting
+/// counters more often costs writes; less often lengthens recovery).
+pub fn ablation_osiris(scale: f64) -> Figure {
+    let mut fig = Figure::new(
+        "Ablation: Osiris stop-loss vs Overwrite-S (normalized to stop-loss 4)",
+        vec!["slowdown".to_string(), "nvm writes".to_string()],
+    );
+    let n = scaled(4096, scale);
+    let reference = {
+        let mut w = PmemKv::new(DbBench::Overwrite, 64, n, n, 2);
+        run(SecurityMode::FsEncr, &mut w)
+    };
+    for stop_loss in [1u32, 2, 4, 8, 16] {
+        let mut opts = MachineOpts::benchmark();
+        opts.config.security.osiris_stop_loss = stop_loss;
+        let mut w = PmemKv::new(DbBench::Overwrite, 64, n, n, 2);
+        let r = run_with(opts, SecurityMode::FsEncr, &mut w);
+        fig.push(
+            format!("stop-loss-{stop_loss}"),
+            vec![
+                r.cycles as f64 / reference.cycles as f64,
+                r.nvm_writes as f64 / reference.nvm_writes.max(1) as f64,
+            ],
+        );
+    }
+    fig
+}
+
+/// Ablation: shared vs partitioned metadata cache (Section III-D floats
+/// partitioning MECB/FECB/Merkle capacity; does it help or hurt?).
+pub fn ablation_partition(scale: f64) -> Figure {
+    let mut fig = Figure::new(
+        "Ablation: metadata-cache partitioning (FsEncr slowdown over baseline security)",
+        vec!["shared".to_string(), "partitioned".to_string()],
+    );
+    let n_large = scaled(3072, scale);
+    let file = ((24 << 20) as f64 * scale.max(0.2)) as u64 / 4096 * 4096;
+    let reads = scaled(400_000, scale);
+    let factories: Vec<(String, Factory)> = vec![
+        (
+            "Fillrandom-L".to_string(),
+            Box::new(move || {
+                Box::new(PmemKv::new(DbBench::FillRandom, 4096, n_large, n_large, 2))
+                    as Box<dyn Workload>
+            }) as Factory,
+        ),
+        (
+            "DAX-2".to_string(),
+            Box::new(move || Box::new(DaxStride::new(128, file, reads)) as Box<dyn Workload>),
+        ),
+    ];
+    for (name, factory) in factories {
+        let mut row = Vec::new();
+        for partitioned in [false, true] {
+            let mut opts = MachineOpts::benchmark();
+            opts.config.security.partition_metadata_cache = partitioned;
+            let base = run_with(opts, SecurityMode::MemoryOnly, factory().as_mut());
+            let fse = run_with(opts, SecurityMode::FsEncr, factory().as_mut());
+            row.push(fse.cycles as f64 / base.cycles as f64);
+        }
+        fig.push(name, row);
+    }
+    fig
+}
+
+/// Ablation: counter-mode vs direct (serialized) encryption — Section
+/// II-C's justification for CTR mode.
+pub fn ablation_direct(scale: f64) -> Figure {
+    let mut fig = Figure::new(
+        "Ablation: CTR vs direct encryption (normalized to ext4-dax)",
+        vec!["ctr".to_string(), "direct".to_string()],
+    );
+    let file = ((24 << 20) as f64 * scale.max(0.2)) as u64 / 4096 * 4096;
+    let reads = scaled(200_000, scale);
+    let factories: Vec<(String, Factory)> = vec![
+        (
+            "DAX-1".to_string(),
+            Box::new(move || Box::new(DaxStride::new(16, file, reads)) as Box<dyn Workload>) as Factory,
+        ),
+        (
+            "Readrandom-S".to_string(),
+            Box::new(move || {
+                Box::new(PmemKv::new(DbBench::ReadRandom, 64, scaled(32768, scale), scaled(16384, scale), 2))
+                    as Box<dyn Workload>
+            }),
+        ),
+    ];
+    for (name, factory) in factories {
+        let dax = run(SecurityMode::Unencrypted, factory().as_mut());
+        let ctr = run(SecurityMode::FsEncr, factory().as_mut());
+        let mut opts = MachineOpts::benchmark();
+        opts.config.security.direct_encryption = true;
+        let direct = run_with(opts, SecurityMode::FsEncr, factory().as_mut());
+        fig.push(
+            name,
+            vec![
+                ctr.cycles as f64 / dax.cycles as f64,
+                direct.cycles as f64 / dax.cycles as f64,
+            ],
+        );
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper_matrix() {
+        let fig = table1();
+        // Row 1: only A falls.
+        assert_eq!(fig.value("memory key revealed", "System A"), Some(1.0));
+        assert_eq!(fig.value("memory key revealed", "System B"), Some(0.0));
+        assert_eq!(fig.value("memory key revealed", "System C"), Some(0.0));
+        // Row 2: A and B fall, C still stands.
+        assert_eq!(fig.value("+ single fs key revealed", "System B"), Some(1.0));
+        assert_eq!(fig.value("+ single fs key revealed", "System C"), Some(0.0));
+        // Row 3: everything falls.
+        assert_eq!(fig.value("+ all file keys revealed", "System C"), Some(1.0));
+    }
+
+    #[test]
+    fn fig3_shows_software_overhead() {
+        let fig = fig3(0.02);
+        for (name, v) in &fig.rows {
+            assert!(v[0] > 1.2, "{name}: software slowdown {v:?} too small");
+        }
+    }
+
+    #[test]
+    fn smoke_fig8_shapes() {
+        let (slow, writes, reads) = fig8_9_10(0.01);
+        for (name, v) in &slow.rows {
+            assert!(v[0] > 0.9 && v[0] < 3.0, "{name} slowdown {v:?}");
+        }
+        // At smoke scale the absolute read/write counts are tiny, so the
+        // ratios are noisy; just require them to be sane.
+        for fig in [&writes, &reads] {
+            for (name, v) in &fig.rows {
+                assert!(v[0] > 0.2 && v[0] < 10.0, "{name} ratio {v:?} insane");
+            }
+        }
+    }
+}

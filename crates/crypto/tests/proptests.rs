@@ -1,0 +1,106 @@
+//! Property-based tests for the cryptographic primitives.
+
+use proptest::prelude::*;
+
+use fsencr_crypto::{
+    hmac_sha256, line_pad, pbkdf2_hmac_sha256, sha256, Aes128, Key128, KeyWrap, PadDomain,
+    PadInput, Sha256,
+};
+
+proptest! {
+    #[test]
+    fn aes_roundtrips_any_block(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let aes = Aes128::new(&Key128::from_bytes(key));
+        prop_assert_eq!(aes.decrypt_block(aes.encrypt_block(block)), block);
+    }
+
+    #[test]
+    fn aes_is_a_permutation(key in any::<[u8; 16]>(), a in any::<[u8; 16]>(), b in any::<[u8; 16]>()) {
+        prop_assume!(a != b);
+        let aes = Aes128::new(&Key128::from_bytes(key));
+        prop_assert_ne!(aes.encrypt_block(a), aes.encrypt_block(b));
+    }
+
+    #[test]
+    fn sha256_streaming_equals_oneshot(data in prop::collection::vec(any::<u8>(), 0..2048),
+                                       split in 0usize..2048) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn sha256_distinguishes_any_single_bit_flip(data in prop::collection::vec(any::<u8>(), 1..256),
+                                                bit in 0usize..2048) {
+        let mut flipped = data.clone();
+        let bit = bit % (data.len() * 8);
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        prop_assert_ne!(sha256(&data), sha256(&flipped));
+    }
+
+    #[test]
+    fn hmac_keys_partition_tags(key_a in any::<[u8; 16]>(), key_b in any::<[u8; 16]>(),
+                                msg in prop::collection::vec(any::<u8>(), 0..256)) {
+        prop_assume!(key_a != key_b);
+        prop_assert_ne!(hmac_sha256(&key_a, &msg), hmac_sha256(&key_b, &msg));
+    }
+
+    #[test]
+    fn keywrap_roundtrips_and_rejects_wrong_kek(kek in any::<[u8; 16]>(),
+                                                other in any::<[u8; 16]>(),
+                                                fek in any::<[u8; 16]>()) {
+        let kek = Key128::from_bytes(kek);
+        let fek = Key128::from_bytes(fek);
+        let w = KeyWrap::wrap(&kek, &fek);
+        prop_assert_eq!(w.unwrap_key(&kek), Some(fek));
+        if other != *kek.as_bytes() {
+            prop_assert_eq!(w.unwrap_key(&Key128::from_bytes(other)), None);
+        }
+    }
+
+    #[test]
+    fn pads_are_unique_per_counter(key in any::<[u8; 16]>(),
+                                   page in 0u64..(1 << 40),
+                                   block in 0u8..64,
+                                   major in any::<u64>(),
+                                   minor_a in 0u8..128,
+                                   minor_b in 0u8..128) {
+        prop_assume!(minor_a != minor_b);
+        let key = Key128::from_bytes(key);
+        let mk = |minor| line_pad(&key, &PadInput {
+            page_id: page, block_in_page: block, major, minor, domain: PadDomain::File,
+        });
+        prop_assert_ne!(mk(minor_a), mk(minor_b));
+    }
+
+    #[test]
+    fn mem_and_file_domains_never_collide(key in any::<[u8; 16]>(),
+                                          page in 0u64..(1 << 40),
+                                          block in 0u8..64,
+                                          major in any::<u64>(),
+                                          minor in 0u8..128) {
+        let key = Key128::from_bytes(key);
+        let input = |domain| PadInput { page_id: page, block_in_page: block, major, minor, domain };
+        prop_assert_ne!(
+            line_pad(&key, &input(PadDomain::Memory)),
+            line_pad(&key, &input(PadDomain::File))
+        );
+    }
+
+    #[test]
+    fn pbkdf2_output_depends_on_every_input(pass in prop::collection::vec(any::<u8>(), 1..32),
+                                            salt in prop::collection::vec(any::<u8>(), 1..32)) {
+        let mut a = [0u8; 16];
+        let mut b = [0u8; 16];
+        pbkdf2_hmac_sha256(&pass, &salt, 2, &mut a);
+        pbkdf2_hmac_sha256(&pass, &salt, 3, &mut b);
+        prop_assert_ne!(a, b, "iteration count must matter");
+        let mut c = [0u8; 16];
+        let mut salt2 = salt.clone();
+        salt2[0] ^= 1;
+        pbkdf2_hmac_sha256(&pass, &salt2, 2, &mut c);
+        prop_assert_ne!(a, c, "salt must matter");
+    }
+}

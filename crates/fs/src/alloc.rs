@@ -1,0 +1,210 @@
+//! Page allocation for the persistent region.
+//!
+//! A simple first-fit free-list allocator over the page frames of the
+//! DAX-formatted region. Frames are handed out lowest-first so that
+//! sequential file growth produces sequential physical placement — the
+//! locality real extent allocators aim for, and what the row-buffer and
+//! counter-block models reward.
+
+use fsencr_nvm::PageId;
+
+/// Allocates 4 KiB page frames from a contiguous persistent region.
+///
+/// # Examples
+///
+/// ```
+/// use fsencr_fs::PageAllocator;
+///
+/// let mut a = PageAllocator::new(100, 4);
+/// let p = a.alloc().unwrap();
+/// assert_eq!(p.get(), 100);
+/// a.free(p);
+/// assert_eq!(a.alloc().unwrap().get(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageAllocator {
+    base: u64,
+    pages: u64,
+    /// Min-heap of freed frames (stored negated would be a max-heap; we
+    /// use a sorted Vec popped from the end for lowest-first reuse).
+    free: Vec<u64>,
+    /// Next never-allocated frame.
+    next: u64,
+    allocated: u64,
+}
+
+impl PageAllocator {
+    /// Creates an allocator over frames `[base, base + pages)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn new(base: u64, pages: u64) -> Self {
+        assert!(pages > 0, "region must contain at least one page");
+        PageAllocator {
+            base,
+            pages,
+            free: Vec::new(),
+            next: 0,
+            allocated: 0,
+        }
+    }
+
+    /// Allocates the lowest available frame, or `None` when full.
+    pub fn alloc(&mut self) -> Option<PageId> {
+        let frame = if let Some(&lowest) = self.free.last() {
+            self.free.pop();
+            lowest
+        } else if self.next < self.pages {
+            let f = self.base + self.next;
+            self.next += 1;
+            f
+        } else {
+            return None;
+        };
+        self.allocated += 1;
+        Some(PageId::new(frame))
+    }
+
+    /// Returns a frame to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is outside the region or already free
+    /// (double-free).
+    pub fn free(&mut self, page: PageId) {
+        let frame = page.get();
+        assert!(
+            frame >= self.base && frame < self.base + self.pages,
+            "frame {frame} outside region"
+        );
+        assert!(
+            frame < self.base + self.next,
+            "frame {frame} was never allocated"
+        );
+        match self.free.binary_search_by(|f| frame.cmp(f)) {
+            Ok(_) => panic!("double free of frame {frame}"),
+            Err(pos) => self.free.insert(pos, frame),
+        }
+        self.allocated -= 1;
+    }
+
+    /// Snapshot of the allocator's full state, for on-media filesystem
+    /// metadata serialization: `(base, pages, next, free-list)`.
+    pub fn state(&self) -> (u64, u64, u64, Vec<u64>) {
+        (self.base, self.pages, self.next, self.free.clone())
+    }
+
+    /// Reconstructs an allocator from a [`PageAllocator::state`] snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inconsistent snapshot.
+    pub fn from_state(base: u64, pages: u64, next: u64, free: Vec<u64>) -> Self {
+        assert!(next <= pages, "next beyond region");
+        assert!(free.len() as u64 <= next, "more free frames than allocated");
+        let allocated = next - free.len() as u64;
+        PageAllocator {
+            base,
+            pages,
+            free,
+            next,
+            allocated,
+        }
+    }
+
+    /// Frames currently handed out.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Frames still available.
+    pub fn available(&self) -> u64 {
+        self.pages - self.allocated
+    }
+
+    /// Total frames managed.
+    pub fn capacity(&self) -> u64 {
+        self.pages
+    }
+
+    /// First frame of the region.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_allocation() {
+        let mut a = PageAllocator::new(10, 5);
+        let frames: Vec<u64> = (0..5).map(|_| a.alloc().unwrap().get()).collect();
+        assert_eq!(frames, vec![10, 11, 12, 13, 14]);
+        assert!(a.alloc().is_none());
+        assert_eq!(a.allocated(), 5);
+        assert_eq!(a.available(), 0);
+    }
+
+    #[test]
+    fn freed_frames_are_reused_lowest_first() {
+        let mut a = PageAllocator::new(0, 10);
+        let pages: Vec<PageId> = (0..10).map(|_| a.alloc().unwrap()).collect();
+        a.free(pages[7]);
+        a.free(pages[2]);
+        a.free(pages[5]);
+        assert_eq!(a.alloc().unwrap().get(), 2);
+        assert_eq!(a.alloc().unwrap().get(), 5);
+        assert_eq!(a.alloc().unwrap().get(), 7);
+        assert!(a.alloc().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = PageAllocator::new(0, 2);
+        let p = a.alloc().unwrap();
+        a.free(p);
+        a.free(p);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside region")]
+    fn foreign_frame_panics() {
+        let mut a = PageAllocator::new(100, 2);
+        a.free(PageId::new(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "never allocated")]
+    fn unallocated_frame_panics() {
+        let mut a = PageAllocator::new(0, 10);
+        a.alloc();
+        a.free(PageId::new(5));
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let mut a = PageAllocator::new(5, 10);
+        let p1 = a.alloc().unwrap();
+        let _p2 = a.alloc().unwrap();
+        a.free(p1);
+        let (base, pages, next, free) = a.state();
+        let b = PageAllocator::from_state(base, pages, next, free);
+        assert_eq!(b.allocated(), a.allocated());
+        assert_eq!(b.available(), a.available());
+        let mut b = b;
+        assert_eq!(b.alloc().unwrap(), p1, "free list preserved");
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let mut a = PageAllocator::new(0, 3);
+        assert_eq!(a.capacity(), 3);
+        assert_eq!(a.base(), 0);
+        a.alloc();
+        assert_eq!((a.allocated(), a.available()), (1, 2));
+    }
+}

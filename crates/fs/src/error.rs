@@ -1,0 +1,77 @@
+//! Filesystem error type.
+
+use std::fmt;
+
+/// Errors returned by [`crate::DaxFs`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// No file with that name exists.
+    NotFound,
+    /// A file with that name already exists.
+    AlreadyExists,
+    /// The caller's uid/gid/mode combination does not permit the access.
+    PermissionDenied,
+    /// The file is encrypted and the supplied passphrase does not unwrap
+    /// its key.
+    BadPassphrase,
+    /// The file is encrypted but no passphrase was supplied.
+    PassphraseRequired,
+    /// The persistent region is out of pages.
+    NoSpace,
+    /// The user has no active keyring session (not logged in).
+    NotLoggedIn,
+    /// Namespace is full: file IDs are limited to 14 bits by the FECB
+    /// format.
+    TooManyFiles,
+    /// A structurally invalid argument, with an explanation.
+    InvalidArgument(&'static str),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound => f.write_str("no such file"),
+            FsError::AlreadyExists => f.write_str("file already exists"),
+            FsError::PermissionDenied => f.write_str("permission denied"),
+            FsError::BadPassphrase => f.write_str("passphrase does not unwrap the file key"),
+            FsError::PassphraseRequired => f.write_str("file is encrypted, passphrase required"),
+            FsError::NoSpace => f.write_str("no space left in persistent region"),
+            FsError::NotLoggedIn => f.write_str("user has no keyring session"),
+            FsError::TooManyFiles => f.write_str("file ID space (14 bits) exhausted"),
+            FsError::InvalidArgument(why) => write!(f, "invalid argument: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        for err in [
+            FsError::NotFound,
+            FsError::AlreadyExists,
+            FsError::PermissionDenied,
+            FsError::BadPassphrase,
+            FsError::PassphraseRequired,
+            FsError::NoSpace,
+            FsError::NotLoggedIn,
+            FsError::TooManyFiles,
+            FsError::InvalidArgument("x"),
+        ] {
+            let s = err.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let err: Box<dyn std::error::Error> = Box::new(FsError::NotFound);
+        assert_eq!(err.to_string(), "no such file");
+    }
+}

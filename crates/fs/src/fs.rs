@@ -1,0 +1,892 @@
+//! The DAX filesystem: namespace, permissions, placement, keys.
+//!
+//! `DaxFs` is the kernel-side model. It owns no simulated-memory traffic —
+//! the machine layer (crate `fsencr`) performs the actual loads and stores
+//! — but it decides everything the kernel decides: which physical frame
+//! backs which file page, who may open what, and how file keys are
+//! created, wrapped, unwrapped and destroyed.
+
+use std::collections::{BTreeMap, HashMap};
+
+use fsencr_crypto::Key128;
+use fsencr_nvm::{PageId, PAGE_BYTES};
+
+use crate::alloc::PageAllocator;
+use crate::error::FsError;
+use crate::inode::{FileCrypto, Ino, Inode};
+use crate::keyring::Keyring;
+use crate::perm::{AccessKind, GroupId, Mode, UserId};
+
+/// What `open`/`create` hand back: everything the machine needs to issue
+/// the MMIO key-install to the memory controller.
+#[derive(Debug, Clone, Copy)]
+pub struct FileHandle {
+    /// The file's inode number (File ID).
+    pub ino: Ino,
+    /// The file's group (Group ID).
+    pub group: GroupId,
+    /// The unwrapped FEK for encrypted files; `None` for plain files.
+    pub fek: Option<Key128>,
+    /// Whether the handle permits writes (create and `AccessKind::Write`
+    /// opens do; read-only opens do not).
+    pub writable: bool,
+}
+
+/// Result of materialising a file page (DAX page-fault path).
+#[derive(Debug, Clone, Copy)]
+pub struct PageFault {
+    /// The physical frame now backing the page.
+    pub frame: PageId,
+    /// Whether the PTE must carry the DF-bit (encrypted DAX file).
+    pub df: bool,
+    /// Group ID to stamp into the page's FECB.
+    pub group: GroupId,
+    /// File ID to stamp into the page's FECB.
+    pub ino: Ino,
+    /// Whether the frame was freshly allocated by this fault.
+    pub newly_allocated: bool,
+}
+
+/// Result of `unlink`: what the machine must tell the controller.
+#[derive(Debug, Clone)]
+pub struct Unlinked {
+    /// Frames to shred and return to the allocator's pool.
+    pub freed: Vec<PageId>,
+    /// The deleted file's group.
+    pub group: GroupId,
+    /// The deleted file's inode number.
+    pub ino: Ino,
+    /// Whether a key must be removed from the OTT.
+    pub was_encrypted: bool,
+}
+
+/// The DAX-mounted filesystem.
+///
+/// # Examples
+///
+/// ```
+/// use fsencr_fs::{AccessKind, DaxFs, GroupId, Mode, UserId};
+///
+/// let mut fs = DaxFs::format(1000, 64, 42);
+/// let alice = UserId::new(1);
+/// let handle = fs
+///     .create(alice, GroupId::new(1), "db.log", Mode::PRIVATE, Some("pw"))
+///     .unwrap();
+/// assert!(handle.fek.is_some());
+/// let again = fs
+///     .open(alice, &[GroupId::new(1)], "db.log", AccessKind::Read, Some("pw"))
+///     .unwrap();
+/// assert_eq!(again.fek, handle.fek);
+/// ```
+#[derive(Debug)]
+pub struct DaxFs {
+    inodes: HashMap<u32, Inode>,
+    names: BTreeMap<String, u32>,
+    alloc: PageAllocator,
+    keyring: Keyring,
+    next_ino: u32,
+    free_inos: Vec<u32>,
+}
+
+impl DaxFs {
+    /// Formats a filesystem over frames `[base_page, base_page + pages)`.
+    pub fn format(base_page: u64, pages: u64, seed: u64) -> Self {
+        DaxFs {
+            inodes: HashMap::new(),
+            names: BTreeMap::new(),
+            alloc: PageAllocator::new(base_page, pages),
+            keyring: Keyring::new(seed),
+            next_ino: 1, // ino 0 is reserved
+            free_inos: Vec::new(),
+        }
+    }
+
+    /// The kernel keyring (login/logout).
+    pub fn keyring_mut(&mut self) -> &mut Keyring {
+        &mut self.keyring
+    }
+
+    /// Convenience: derive and store a session KEK for `user`.
+    pub fn login(&mut self, user: UserId, passphrase: &str) {
+        self.keyring.login(user, passphrase);
+    }
+
+    fn alloc_ino(&mut self) -> Result<Ino, FsError> {
+        if let Some(i) = self.free_inos.pop() {
+            return Ok(Ino::new(i));
+        }
+        if self.next_ino >= Ino::LIMIT {
+            return Err(FsError::TooManyFiles);
+        }
+        let i = self.next_ino;
+        self.next_ino += 1;
+        Ok(Ino::new(i))
+    }
+
+    /// Creates a file. With a passphrase, the file is encrypted: a fresh
+    /// FEK is generated, wrapped under the owner's passphrase-derived KEK,
+    /// and returned in the handle so the machine can install it in the
+    /// controller's OTT.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::AlreadyExists`] for duplicate names,
+    /// [`FsError::TooManyFiles`] when the 14-bit ID space is exhausted.
+    pub fn create(
+        &mut self,
+        owner: UserId,
+        group: GroupId,
+        name: &str,
+        mode: Mode,
+        passphrase: Option<&str>,
+    ) -> Result<FileHandle, FsError> {
+        if name.is_empty() {
+            return Err(FsError::InvalidArgument("empty file name"));
+        }
+        if self.names.contains_key(name) {
+            return Err(FsError::AlreadyExists);
+        }
+        let ino = self.alloc_ino()?;
+        let (crypto, fek) = match passphrase {
+            Some(pw) => {
+                let fek = self.keyring.generate_fek();
+                let kek = Keyring::kek_for(pw, owner);
+                let wrapped = fsencr_crypto::KeyWrap::wrap(&kek, &fek);
+                (Some(FileCrypto { wrapped_fek: wrapped }), Some(fek))
+            }
+            None => (None, None),
+        };
+        let inode = Inode::new(ino, owner, group, mode, crypto);
+        self.inodes.insert(ino.get(), inode);
+        self.names.insert(name.to_string(), ino.get());
+        Ok(FileHandle {
+            ino,
+            group,
+            fek,
+            writable: true,
+        })
+    }
+
+    fn lookup(&self, name: &str) -> Result<&Inode, FsError> {
+        let ino = self.names.get(name).ok_or(FsError::NotFound)?;
+        Ok(&self.inodes[ino])
+    }
+
+    fn check_access(
+        inode: &Inode,
+        user: UserId,
+        groups: &[GroupId],
+        kind: AccessKind,
+    ) -> Result<(), FsError> {
+        if user.is_root() {
+            return Ok(());
+        }
+        let is_owner = inode.owner() == user;
+        let in_group = groups.contains(&inode.group());
+        if inode.mode().allows(kind, is_owner, in_group) {
+            Ok(())
+        } else {
+            Err(FsError::PermissionDenied)
+        }
+    }
+
+    /// Opens a file, enforcing both the POSIX mode *and* — for encrypted
+    /// files — the passphrase check of Section VI ("a wrong passphrase
+    /// will deny the opening of the file" even when the mode would allow
+    /// it, e.g. after an accidental `chmod 777`).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`], [`FsError::PermissionDenied`],
+    /// [`FsError::PassphraseRequired`], or [`FsError::BadPassphrase`].
+    pub fn open(
+        &self,
+        user: UserId,
+        groups: &[GroupId],
+        name: &str,
+        kind: AccessKind,
+        passphrase: Option<&str>,
+    ) -> Result<FileHandle, FsError> {
+        let inode = self.lookup(name)?;
+        Self::check_access(inode, user, groups, kind)?;
+        let fek = match inode.crypto() {
+            Some(c) => {
+                let pw = passphrase.ok_or(FsError::PassphraseRequired)?;
+                let fek = self
+                    .keyring
+                    .unwrap_with(pw, inode.owner(), &c.wrapped_fek)
+                    .ok_or(FsError::BadPassphrase)?;
+                Some(fek)
+            }
+            None => None,
+        };
+        Ok(FileHandle {
+            ino: inode.ino(),
+            group: inode.group(),
+            fek,
+            writable: kind == AccessKind::Write,
+        })
+    }
+
+    /// Renames a file (owner or root only).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`], [`FsError::AlreadyExists`], or
+    /// [`FsError::PermissionDenied`].
+    pub fn rename(&mut self, user: UserId, from: &str, to: &str) -> Result<(), FsError> {
+        if to.is_empty() {
+            return Err(FsError::InvalidArgument("empty file name"));
+        }
+        if self.names.contains_key(to) {
+            return Err(FsError::AlreadyExists);
+        }
+        let ino = *self.names.get(from).ok_or(FsError::NotFound)?;
+        let inode = &self.inodes[&ino];
+        if !user.is_root() && inode.owner() != user {
+            return Err(FsError::PermissionDenied);
+        }
+        self.names.remove(from);
+        self.names.insert(to.to_string(), ino);
+        Ok(())
+    }
+
+    /// Materialises file page `page_idx`, allocating a frame on first
+    /// touch — the kernel half of the DAX page fault.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NoSpace`] when the persistent region is full.
+    pub fn ensure_page(&mut self, ino: Ino, page_idx: usize) -> Result<PageFault, FsError> {
+        let inode = self
+            .inodes
+            .get_mut(&ino.get())
+            .ok_or(FsError::NotFound)?;
+        if let Some(frame) = inode.page(page_idx) {
+            return Ok(PageFault {
+                frame,
+                df: inode.is_encrypted(),
+                group: inode.group(),
+                ino,
+                newly_allocated: false,
+            });
+        }
+        let frame = self.alloc.alloc().ok_or(FsError::NoSpace)?;
+        inode.map_page(page_idx, frame);
+        inode.grow_to((page_idx as u64 + 1) * PAGE_BYTES as u64);
+        Ok(PageFault {
+            frame,
+            df: inode.is_encrypted(),
+            group: inode.group(),
+            ino,
+            newly_allocated: true,
+        })
+    }
+
+    /// Deletes a file (owner or root only), freeing its frames.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] or [`FsError::PermissionDenied`].
+    pub fn unlink(&mut self, user: UserId, name: &str) -> Result<Unlinked, FsError> {
+        let ino = *self.names.get(name).ok_or(FsError::NotFound)?;
+        let inode = self.inodes.get_mut(&ino).expect("namespace consistent");
+        if !user.is_root() && inode.owner() != user {
+            return Err(FsError::PermissionDenied);
+        }
+        let freed = inode.take_pages();
+        let result = Unlinked {
+            freed: freed.clone(),
+            group: inode.group(),
+            ino: inode.ino(),
+            was_encrypted: inode.is_encrypted(),
+        };
+        for frame in freed {
+            self.alloc.free(frame);
+        }
+        self.names.remove(name);
+        self.inodes.remove(&ino);
+        self.free_inos.push(ino);
+        Ok(result)
+    }
+
+    /// `chmod` (owner or root only).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] or [`FsError::PermissionDenied`].
+    pub fn chmod(&mut self, user: UserId, name: &str, mode: Mode) -> Result<(), FsError> {
+        let ino = *self.names.get(name).ok_or(FsError::NotFound)?;
+        let inode = self.inodes.get_mut(&ino).expect("namespace consistent");
+        if !user.is_root() && inode.owner() != user {
+            return Err(FsError::PermissionDenied);
+        }
+        inode.set_mode(mode);
+        Ok(())
+    }
+
+    /// `chown` (root only).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] or [`FsError::PermissionDenied`].
+    pub fn chown(
+        &mut self,
+        user: UserId,
+        name: &str,
+        owner: UserId,
+        group: GroupId,
+    ) -> Result<(), FsError> {
+        if !user.is_root() {
+            return Err(FsError::PermissionDenied);
+        }
+        let ino = *self.names.get(name).ok_or(FsError::NotFound)?;
+        let inode = self.inodes.get_mut(&ino).expect("namespace consistent");
+        inode.set_owner(owner, group);
+        Ok(())
+    }
+
+    /// Rotates an encrypted file's key: generates a fresh FEK, wraps it
+    /// under the (new) passphrase, and returns `(old_fek, new_fek)` so the
+    /// controller can keep decrypting old pages while encrypting new
+    /// writes (Section VI, "Resetting Filesystem Encryption Counters").
+    ///
+    /// # Errors
+    ///
+    /// Standard lookup/permission errors, [`FsError::BadPassphrase`] for a
+    /// wrong old passphrase, or [`FsError::InvalidArgument`] for a plain
+    /// file.
+    pub fn rekey(
+        &mut self,
+        user: UserId,
+        name: &str,
+        old_passphrase: &str,
+        new_passphrase: &str,
+    ) -> Result<(Key128, Key128), FsError> {
+        let ino = *self.names.get(name).ok_or(FsError::NotFound)?;
+        let new_fek = self.keyring.generate_fek();
+        let inode = self.inodes.get_mut(&ino).expect("namespace consistent");
+        if !user.is_root() && inode.owner() != user {
+            return Err(FsError::PermissionDenied);
+        }
+        let crypto = inode
+            .crypto()
+            .ok_or(FsError::InvalidArgument("file is not encrypted"))?;
+        let old_fek = self
+            .keyring
+            .unwrap_with(old_passphrase, inode.owner(), &crypto.wrapped_fek)
+            .ok_or(FsError::BadPassphrase)?;
+        let kek = Keyring::kek_for(new_passphrase, inode.owner());
+        let wrapped = fsencr_crypto::KeyWrap::wrap(&kek, &new_fek);
+        inode.set_crypto(Some(FileCrypto { wrapped_fek: wrapped }));
+        Ok((old_fek, new_fek))
+    }
+
+    /// Looks up an inode by name.
+    pub fn stat(&self, name: &str) -> Option<&Inode> {
+        self.names.get(name).map(|i| &self.inodes[i])
+    }
+
+    /// Looks up an inode by number.
+    pub fn inode(&self, ino: Ino) -> Option<&Inode> {
+        self.inodes.get(&ino.get())
+    }
+
+    /// Extends the logical size (write past EOF).
+    pub fn grow(&mut self, ino: Ino, size: u64) {
+        if let Some(inode) = self.inodes.get_mut(&ino.get()) {
+            inode.grow_to(size);
+        }
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Frames still available in the persistent region.
+    pub fn free_pages(&self) -> u64 {
+        self.alloc.available()
+    }
+
+    /// Iterates `(name, ino)` pairs in name order.
+    pub fn list(&self) -> impl Iterator<Item = (&str, Ino)> + '_ {
+        self.names.iter().map(|(n, i)| (n.as_str(), Ino::new(*i)))
+    }
+}
+
+
+// ----------------------------------------------------------------------
+// On-media serialization: the filesystem's own metadata (superblock,
+// inode table, allocator state) as a flat byte image written into the
+// reserved pages at the head of the persistent region.
+// ----------------------------------------------------------------------
+
+const FS_IMAGE_MAGIC: u64 = 0x4653_494D_4721_0001;
+const FS_IMAGE_VERSION: u8 = 1;
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FsError> {
+        if self.pos + n > self.buf.len() {
+            return Err(FsError::InvalidArgument("truncated filesystem image"));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, FsError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FsError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len")))
+    }
+
+    fn u32(&mut self) -> Result<u32, FsError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len")))
+    }
+
+    fn u64(&mut self) -> Result<u64, FsError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len")))
+    }
+}
+
+impl DaxFs {
+    /// Serializes the complete filesystem metadata (superblock, allocator,
+    /// inode table, wrapped keys) into a flat image. Session keys are
+    /// volatile by design and are *not* included — users re-login after a
+    /// mount.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1024);
+        out.extend_from_slice(&FS_IMAGE_MAGIC.to_le_bytes());
+        out.push(FS_IMAGE_VERSION);
+        out.extend_from_slice(&self.keyring.rng_state().to_le_bytes());
+
+        let (base, pages, next, free) = self.alloc.state();
+        out.extend_from_slice(&base.to_le_bytes());
+        out.extend_from_slice(&pages.to_le_bytes());
+        out.extend_from_slice(&next.to_le_bytes());
+        out.extend_from_slice(&(free.len() as u32).to_le_bytes());
+        for f in &free {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+
+        out.extend_from_slice(&self.next_ino.to_le_bytes());
+        out.extend_from_slice(&(self.free_inos.len() as u32).to_le_bytes());
+        for i in &self.free_inos {
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+
+        out.extend_from_slice(&(self.names.len() as u32).to_le_bytes());
+        for (name, ino) in &self.names {
+            let inode = &self.inodes[ino];
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&inode.ino().get().to_le_bytes());
+            out.extend_from_slice(&inode.owner().get().to_le_bytes());
+            out.extend_from_slice(&inode.group().get().to_le_bytes());
+            out.extend_from_slice(&inode.mode().bits().to_le_bytes());
+            out.extend_from_slice(&inode.size().to_le_bytes());
+            match inode.crypto() {
+                Some(c) => {
+                    out.push(1);
+                    out.extend_from_slice(c.wrapped_fek.ciphertext());
+                    out.extend_from_slice(c.wrapped_fek.tag());
+                }
+                None => out.push(0),
+            }
+            out.extend_from_slice(&(inode.page_slots() as u32).to_le_bytes());
+            for idx in 0..inode.page_slots() {
+                let frame = inode.page(idx).map(|p| p.get()).unwrap_or(u64::MAX);
+                out.extend_from_slice(&frame.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Reconstructs a filesystem from a [`DaxFs::serialize`] image.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::InvalidArgument`] for a corrupt or truncated image.
+    pub fn deserialize(bytes: &[u8]) -> Result<DaxFs, FsError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.u64()? != FS_IMAGE_MAGIC {
+            return Err(FsError::InvalidArgument("not a filesystem image"));
+        }
+        if r.u8()? != FS_IMAGE_VERSION {
+            return Err(FsError::InvalidArgument("unsupported image version"));
+        }
+        let rng_state = r.u64()?;
+
+        let base = r.u64()?;
+        let pages = r.u64()?;
+        let next = r.u64()?;
+        let free_len = r.u32()? as usize;
+        let mut free = Vec::with_capacity(free_len);
+        for _ in 0..free_len {
+            free.push(r.u64()?);
+        }
+        let alloc = PageAllocator::from_state(base, pages, next, free);
+
+        let next_ino = r.u32()?;
+        let free_inos_len = r.u32()? as usize;
+        let mut free_inos = Vec::with_capacity(free_inos_len);
+        for _ in 0..free_inos_len {
+            free_inos.push(r.u32()?);
+        }
+
+        let file_count = r.u32()? as usize;
+        let mut names = BTreeMap::new();
+        let mut inodes = HashMap::new();
+        for _ in 0..file_count {
+            let name_len = r.u16()? as usize;
+            let name = std::str::from_utf8(r.take(name_len)?)
+                .map_err(|_| FsError::InvalidArgument("file name is not utf-8"))?
+                .to_string();
+            let ino = Ino::new(r.u32()?);
+            let owner = UserId::new(r.u32()?);
+            let group = GroupId::new(r.u32()?);
+            let mode = Mode::new(r.u16()?);
+            let size = r.u64()?;
+            let crypto = if r.u8()? == 1 {
+                let ct: [u8; 16] = r.take(16)?.try_into().expect("len");
+                let tag: [u8; 32] = r.take(32)?.try_into().expect("len");
+                Some(FileCrypto {
+                    wrapped_fek: fsencr_crypto::KeyWrap::from_parts(ct, tag),
+                })
+            } else {
+                None
+            };
+            let mut inode = Inode::new(ino, owner, group, mode, crypto);
+            let slots = r.u32()? as usize;
+            for idx in 0..slots {
+                let frame = r.u64()?;
+                if frame != u64::MAX {
+                    inode.map_page(idx, PageId::new(frame));
+                }
+            }
+            inode.grow_to(size);
+            names.insert(name, ino.get());
+            inodes.insert(ino.get(), inode);
+        }
+
+        let mut keyring = Keyring::new(0);
+        keyring.set_rng_state(rng_state);
+        Ok(DaxFs {
+            inodes,
+            names,
+            alloc,
+            keyring,
+            next_ino,
+            free_inos,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> DaxFs {
+        DaxFs::format(1000, 16, 7)
+    }
+
+    const ALICE: UserId = UserId::new(1);
+    const BOB: UserId = UserId::new(2);
+    const STAFF: GroupId = GroupId::new(10);
+
+    #[test]
+    fn create_open_plain_file() {
+        let mut fs = fs();
+        let h = fs.create(ALICE, STAFF, "notes.txt", Mode::GROUP_RW, None).unwrap();
+        assert!(h.fek.is_none());
+        let o = fs.open(BOB, &[STAFF], "notes.txt", AccessKind::Write, None).unwrap();
+        assert_eq!(o.ino, h.ino);
+        assert_eq!(fs.file_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut fs = fs();
+        fs.create(ALICE, STAFF, "a", Mode::PRIVATE, None).unwrap();
+        assert_eq!(
+            fs.create(ALICE, STAFF, "a", Mode::PRIVATE, None).unwrap_err(),
+            FsError::AlreadyExists
+        );
+        assert_eq!(
+            fs.create(ALICE, STAFF, "", Mode::PRIVATE, None).unwrap_err(),
+            FsError::InvalidArgument("empty file name")
+        );
+    }
+
+    #[test]
+    fn permission_matrix_enforced() {
+        let mut fs = fs();
+        fs.create(ALICE, STAFF, "secret", Mode::PRIVATE, None).unwrap();
+        // group member cannot open 0600
+        assert_eq!(
+            fs.open(BOB, &[STAFF], "secret", AccessKind::Read, None).unwrap_err(),
+            FsError::PermissionDenied
+        );
+        // owner can
+        assert!(fs.open(ALICE, &[], "secret", AccessKind::Write, None).is_ok());
+        // root bypasses mode bits
+        assert!(fs.open(UserId::ROOT, &[], "secret", AccessKind::Read, None).is_ok());
+    }
+
+    #[test]
+    fn encrypted_file_requires_correct_passphrase() {
+        let mut fs = fs();
+        let h = fs
+            .create(ALICE, STAFF, "vault", Mode::WIDE_OPEN, Some("hunter2"))
+            .unwrap();
+        let fek = h.fek.unwrap();
+
+        assert_eq!(
+            fs.open(BOB, &[STAFF], "vault", AccessKind::Read, None).unwrap_err(),
+            FsError::PassphraseRequired
+        );
+        assert_eq!(
+            fs.open(BOB, &[STAFF], "vault", AccessKind::Read, Some("guess"))
+                .unwrap_err(),
+            FsError::BadPassphrase
+        );
+        let o = fs
+            .open(BOB, &[STAFF], "vault", AccessKind::Read, Some("hunter2"))
+            .unwrap();
+        assert_eq!(o.fek, Some(fek));
+    }
+
+    #[test]
+    fn chmod_777_does_not_leak_key() {
+        // The paper's scenario: mode opens up by accident, but the key
+        // check still guards the data.
+        let mut fs = fs();
+        fs.create(ALICE, STAFF, "vault", Mode::PRIVATE, Some("pw")).unwrap();
+        fs.chmod(ALICE, "vault", Mode::WIDE_OPEN).unwrap();
+        assert_eq!(
+            fs.open(BOB, &[], "vault", AccessKind::Read, Some("wrong")).unwrap_err(),
+            FsError::BadPassphrase
+        );
+    }
+
+    #[test]
+    fn chmod_chown_permissions() {
+        let mut fs = fs();
+        fs.create(ALICE, STAFF, "f", Mode::PRIVATE, None).unwrap();
+        assert_eq!(
+            fs.chmod(BOB, "f", Mode::WIDE_OPEN).unwrap_err(),
+            FsError::PermissionDenied
+        );
+        assert_eq!(
+            fs.chown(ALICE, "f", BOB, STAFF).unwrap_err(),
+            FsError::PermissionDenied
+        );
+        fs.chown(UserId::ROOT, "f", BOB, GroupId::new(11)).unwrap();
+        assert_eq!(fs.stat("f").unwrap().owner(), BOB);
+    }
+
+    #[test]
+    fn page_fault_allocates_once() {
+        let mut fs = fs();
+        let h = fs.create(ALICE, STAFF, "data", Mode::PRIVATE, Some("pw")).unwrap();
+        let f1 = fs.ensure_page(h.ino, 0).unwrap();
+        assert!(f1.newly_allocated);
+        assert!(f1.df, "encrypted file pages carry the DF-bit");
+        assert_eq!(f1.group, STAFF);
+        let f2 = fs.ensure_page(h.ino, 0).unwrap();
+        assert!(!f2.newly_allocated);
+        assert_eq!(f2.frame, f1.frame);
+        assert_eq!(fs.stat("data").unwrap().size(), 4096);
+    }
+
+    #[test]
+    fn plain_file_pages_have_no_df_bit() {
+        let mut fs = fs();
+        let h = fs.create(ALICE, STAFF, "plain", Mode::PRIVATE, None).unwrap();
+        let f = fs.ensure_page(h.ino, 0).unwrap();
+        assert!(!f.df);
+    }
+
+    #[test]
+    fn region_exhaustion() {
+        let mut fs = DaxFs::format(0, 2, 1);
+        let h = fs.create(ALICE, STAFF, "big", Mode::PRIVATE, None).unwrap();
+        fs.ensure_page(h.ino, 0).unwrap();
+        fs.ensure_page(h.ino, 1).unwrap();
+        assert_eq!(fs.ensure_page(h.ino, 2).unwrap_err(), FsError::NoSpace);
+        assert_eq!(fs.free_pages(), 0);
+    }
+
+    #[test]
+    fn unlink_frees_frames_and_reuses_ino() {
+        let mut fs = fs();
+        let h = fs.create(ALICE, STAFF, "tmp", Mode::PRIVATE, Some("pw")).unwrap();
+        fs.ensure_page(h.ino, 0).unwrap();
+        fs.ensure_page(h.ino, 1).unwrap();
+        let before_free = fs.free_pages();
+        let un = fs.unlink(ALICE, "tmp").unwrap();
+        assert_eq!(un.freed.len(), 2);
+        assert!(un.was_encrypted);
+        assert_eq!(un.ino, h.ino);
+        assert_eq!(fs.free_pages(), before_free + 2);
+        // ino is recycled
+        let h2 = fs.create(ALICE, STAFF, "tmp2", Mode::PRIVATE, None).unwrap();
+        assert_eq!(h2.ino, h.ino);
+    }
+
+    #[test]
+    fn unlink_permission() {
+        let mut fs = fs();
+        fs.create(ALICE, STAFF, "f", Mode::WIDE_OPEN, None).unwrap();
+        assert_eq!(fs.unlink(BOB, "f").unwrap_err(), FsError::PermissionDenied);
+        assert!(fs.unlink(UserId::ROOT, "f").is_ok());
+        assert_eq!(fs.unlink(ALICE, "f").unwrap_err(), FsError::NotFound);
+    }
+
+    #[test]
+    fn rekey_returns_old_and_new() {
+        let mut fs = fs();
+        let h = fs.create(ALICE, STAFF, "v", Mode::PRIVATE, Some("old")).unwrap();
+        let (old_fek, new_fek) = fs.rekey(ALICE, "v", "old", "new").unwrap();
+        assert_eq!(Some(old_fek), h.fek);
+        assert_ne!(old_fek, new_fek);
+        // new passphrase opens, old does not
+        assert!(fs.open(ALICE, &[], "v", AccessKind::Read, Some("new")).is_ok());
+        assert_eq!(
+            fs.open(ALICE, &[], "v", AccessKind::Read, Some("old")).unwrap_err(),
+            FsError::BadPassphrase
+        );
+        // wrong old passphrase fails
+        assert_eq!(
+            fs.rekey(ALICE, "v", "bogus", "x").unwrap_err(),
+            FsError::BadPassphrase
+        );
+    }
+
+    #[test]
+    fn rekey_plain_file_rejected() {
+        let mut fs = fs();
+        fs.create(ALICE, STAFF, "p", Mode::PRIVATE, None).unwrap();
+        assert!(matches!(
+            fs.rekey(ALICE, "p", "a", "b").unwrap_err(),
+            FsError::InvalidArgument(_)
+        ));
+    }
+
+    #[test]
+    fn list_is_name_ordered() {
+        let mut fs = fs();
+        fs.create(ALICE, STAFF, "b", Mode::PRIVATE, None).unwrap();
+        fs.create(ALICE, STAFF, "a", Mode::PRIVATE, None).unwrap();
+        let names: Vec<&str> = fs.list().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}
+
+#[cfg(test)]
+mod image_tests {
+    use super::*;
+
+    const ALICE: UserId = UserId::new(1);
+    const STAFF: GroupId = GroupId::new(10);
+
+    fn populated() -> DaxFs {
+        let mut fs = DaxFs::format(1000, 32, 7);
+        let h1 = fs.create(ALICE, STAFF, "enc", Mode::PRIVATE, Some("pw")).unwrap();
+        fs.ensure_page(h1.ino, 0).unwrap();
+        fs.ensure_page(h1.ino, 2).unwrap(); // hole at index 1
+        let h2 = fs.create(UserId::new(2), GroupId::new(11), "plain", Mode::GROUP_RW, None).unwrap();
+        fs.ensure_page(h2.ino, 0).unwrap();
+        // delete a file to exercise free lists
+        fs.create(ALICE, STAFF, "tmp", Mode::PRIVATE, None).unwrap();
+        fs.unlink(ALICE, "tmp").unwrap();
+        fs
+    }
+
+    #[test]
+    fn image_roundtrip_preserves_everything() {
+        let fs = populated();
+        let image = fs.serialize();
+        let back = DaxFs::deserialize(&image).unwrap();
+
+        assert_eq!(back.file_count(), fs.file_count());
+        assert_eq!(back.free_pages(), fs.free_pages());
+        let names_a: Vec<_> = fs.list().map(|(n, i)| (n.to_string(), i)).collect();
+        let names_b: Vec<_> = back.list().map(|(n, i)| (n.to_string(), i)).collect();
+        assert_eq!(names_a, names_b);
+
+        let orig = fs.stat("enc").unwrap();
+        let rest = back.stat("enc").unwrap();
+        assert_eq!(rest.owner(), orig.owner());
+        assert_eq!(rest.group(), orig.group());
+        assert_eq!(rest.mode(), orig.mode());
+        assert_eq!(rest.size(), orig.size());
+        assert_eq!(rest.page(0), orig.page(0));
+        assert_eq!(rest.page(1), None, "hole preserved");
+        assert_eq!(rest.page(2), orig.page(2));
+        assert!(rest.is_encrypted());
+
+        // The wrapped key still unwraps with the right passphrase.
+        let h = back.open(ALICE, &[STAFF], "enc", AccessKind::Read, Some("pw")).unwrap();
+        assert!(h.fek.is_some());
+        assert!(back.open(ALICE, &[STAFF], "enc", AccessKind::Read, Some("no")).is_err());
+    }
+
+    #[test]
+    fn restored_fs_never_reissues_feks() {
+        let mut fs = populated();
+        let image = fs.serialize();
+        let mut back = DaxFs::deserialize(&image).unwrap();
+        let next_orig = fs.create(ALICE, STAFF, "n1", Mode::PRIVATE, Some("x")).unwrap();
+        let next_back = back.create(ALICE, STAFF, "n1", Mode::PRIVATE, Some("x")).unwrap();
+        assert_eq!(next_orig.fek, next_back.fek, "rng state must be preserved");
+        // And the new key differs from every existing file's key.
+        let h = back.open(ALICE, &[STAFF], "enc", AccessKind::Read, Some("pw")).unwrap();
+        assert_ne!(next_back.fek, h.fek);
+    }
+
+    #[test]
+    fn allocator_state_survives() {
+        let fs = populated();
+        let image = fs.serialize();
+        let mut back = DaxFs::deserialize(&image).unwrap();
+        // New allocations must not collide with restored placements.
+        let used: std::collections::HashSet<u64> = back
+            .list()
+            .map(|(_, i)| i)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flat_map(|i| {
+                back.inode(i).unwrap().mapped_pages().map(|p| p.get()).collect::<Vec<_>>()
+            })
+            .collect();
+        let h = back.create(ALICE, STAFF, "new", Mode::PRIVATE, None).unwrap();
+        let pf = back.ensure_page(h.ino, 0).unwrap();
+        assert!(!used.contains(&pf.frame.get()), "fresh frame collided");
+    }
+
+    #[test]
+    fn corrupt_images_are_rejected() {
+        let fs = populated();
+        let mut image = fs.serialize();
+        // bad magic
+        let mut evil = image.clone();
+        evil[0] ^= 1;
+        assert!(DaxFs::deserialize(&evil).is_err());
+        // truncation at every prefix must error, never panic
+        for len in 0..image.len().min(120) {
+            assert!(DaxFs::deserialize(&image[..len]).is_err(), "len {len}");
+        }
+        // bad version
+        image[8] = 99;
+        assert!(DaxFs::deserialize(&image).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! Page tables with DF-bit support.
+//!
+//! The single kernel change at the heart of FsEncr: when a DAX page fault
+//! maps an encrypted file page, the kernel sets bit 51 of the physical
+//! address in the PTE (`(1UL << 51) | pfn`). Every subsequent access to
+//! that page carries the DF-bit down to the memory controller for free.
+
+use std::collections::HashMap;
+
+use fsencr_nvm::{PageId, PhysAddr, PAGE_BYTES};
+
+/// A page-table entry: physical frame plus the DF (DAX-file) bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// Physical frame number.
+    pub frame: PageId,
+    /// Whether accesses through this mapping are DAX-file accesses to an
+    /// encrypted file (routes them through the file encryption engine).
+    pub df: bool,
+}
+
+/// A per-process page table.
+///
+/// # Examples
+///
+/// ```
+/// use fsencr_fs::{PageTable, Pte};
+/// use fsencr_nvm::PageId;
+///
+/// let mut pt = PageTable::new();
+/// pt.map(5, Pte { frame: PageId::new(100), df: true });
+/// let pa = pt.translate(5 * 4096 + 12).unwrap();
+/// assert!(pa.df());
+/// assert_eq!(pa.strip_df().get(), 100 * 4096 + 12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    entries: HashMap<u64, Pte>,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        PageTable::default()
+    }
+
+    /// Installs a mapping for virtual page `vpn`.
+    pub fn map(&mut self, vpn: u64, pte: Pte) {
+        self.entries.insert(vpn, pte);
+    }
+
+    /// Removes the mapping for `vpn`, returning it.
+    pub fn unmap(&mut self, vpn: u64) -> Option<Pte> {
+        self.entries.remove(&vpn)
+    }
+
+    /// Removes every mapping that points at `frame` (used at unlink).
+    pub fn unmap_frame(&mut self, frame: PageId) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, pte| pte.frame != frame);
+        before - self.entries.len()
+    }
+
+    /// Looks up the PTE for a virtual page.
+    pub fn pte(&self, vpn: u64) -> Option<Pte> {
+        self.entries.get(&vpn).copied()
+    }
+
+    /// Translates a virtual byte address to a physical address, DF-bit
+    /// included. `None` means page fault.
+    pub fn translate(&self, vaddr: u64) -> Option<PhysAddr> {
+        let vpn = vaddr / PAGE_BYTES as u64;
+        let offset = vaddr % PAGE_BYTES as u64;
+        self.entries.get(&vpn).map(|pte| {
+            let pa = PhysAddr::new(pte.frame.get() * PAGE_BYTES as u64 + offset);
+            if pte.df {
+                pa.with_df()
+            } else {
+                pa
+            }
+        })
+    }
+
+    /// Number of live mappings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translate_unmapped_faults() {
+        let pt = PageTable::new();
+        assert_eq!(pt.translate(0x1000), None);
+        assert!(pt.is_empty());
+    }
+
+    #[test]
+    fn translate_applies_df_bit_only_when_set() {
+        let mut pt = PageTable::new();
+        pt.map(1, Pte { frame: PageId::new(7), df: false });
+        pt.map(2, Pte { frame: PageId::new(8), df: true });
+        let plain = pt.translate(4096 + 5).unwrap();
+        assert!(!plain.df());
+        assert_eq!(plain.get(), 7 * 4096 + 5);
+        let tagged = pt.translate(2 * 4096).unwrap();
+        assert!(tagged.df());
+        assert_eq!(tagged.strip_df().get(), 8 * 4096);
+    }
+
+    #[test]
+    fn unmap_single_and_by_frame() {
+        let mut pt = PageTable::new();
+        pt.map(1, Pte { frame: PageId::new(7), df: false });
+        pt.map(2, Pte { frame: PageId::new(7), df: false });
+        pt.map(3, Pte { frame: PageId::new(9), df: false });
+        assert_eq!(pt.len(), 3);
+        assert!(pt.unmap(3).is_some());
+        assert_eq!(pt.unmap_frame(PageId::new(7)), 2);
+        assert!(pt.is_empty());
+        assert_eq!(pt.unmap(1), None);
+    }
+
+    #[test]
+    fn pte_lookup() {
+        let mut pt = PageTable::new();
+        let pte = Pte { frame: PageId::new(3), df: true };
+        pt.map(9, pte);
+        assert_eq!(pt.pte(9), Some(pte));
+        assert_eq!(pt.pte(10), None);
+    }
+}

@@ -1,0 +1,223 @@
+//! Users, groups, and POSIX-style permission bits.
+//!
+//! FsEncr leans on the OS for access control (Section III-A: "most
+//! filesystem encryption frameworks rely on the kernel to maintain access
+//! permissions") while the per-file key protects against *mistakes* in
+//! that layer — the paper's `chmod 777` scenario. The model here is the
+//! standard owner/group/other rwx matrix.
+
+use std::fmt;
+
+/// A user identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UserId(u32);
+
+impl UserId {
+    /// The superuser.
+    pub const ROOT: UserId = UserId(0);
+
+    /// Creates a user ID.
+    pub const fn new(uid: u32) -> Self {
+        UserId(uid)
+    }
+
+    /// Raw value.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this is the superuser.
+    pub const fn is_root(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "uid:{}", self.0)
+    }
+}
+
+/// A group identifier. The FECB stores group IDs in 18 bits, so the
+/// filesystem refuses larger values at creation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(u32);
+
+impl GroupId {
+    /// Maximum encodable group ID (18 bits, Figure 6).
+    pub const MAX: u32 = (1 << 18) - 1;
+
+    /// Creates a group ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gid` exceeds 18 bits.
+    pub const fn new(gid: u32) -> Self {
+        assert!(gid <= GroupId::MAX, "group ID exceeds 18 bits");
+        GroupId(gid)
+    }
+
+    /// Raw value.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gid:{}", self.0)
+    }
+}
+
+/// The kind of access being attempted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Read the file's contents.
+    Read,
+    /// Modify the file's contents.
+    Write,
+}
+
+/// POSIX permission bits (the low nine bits of `st_mode`).
+///
+/// # Examples
+///
+/// ```
+/// use fsencr_fs::{AccessKind, Mode};
+///
+/// let m = Mode::new(0o640);
+/// assert!(m.allows(AccessKind::Read, true, false));   // owner
+/// assert!(m.allows(AccessKind::Read, false, true));   // group member
+/// assert!(!m.allows(AccessKind::Read, false, false)); // other
+/// assert!(!m.allows(AccessKind::Write, false, true)); // group can't write
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mode(u16);
+
+impl Mode {
+    /// `0o600`: private file.
+    pub const PRIVATE: Mode = Mode(0o600);
+
+    /// `0o660`: group-shared file.
+    pub const GROUP_RW: Mode = Mode(0o660);
+
+    /// `0o777`: the dangerous everything-for-everyone mode the paper warns
+    /// about.
+    pub const WIDE_OPEN: Mode = Mode(0o777);
+
+    /// Creates a mode from the low nine permission bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bits above 0o777 are set.
+    pub const fn new(bits: u16) -> Self {
+        assert!(bits <= 0o777, "mode uses only the nine rwx bits");
+        Mode(bits)
+    }
+
+    /// Raw bits.
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Evaluates the rwx matrix for a caller that is (`is_owner`,
+    /// `in_group`). Owner class takes precedence over group, group over
+    /// other, as in POSIX.
+    pub fn allows(self, kind: AccessKind, is_owner: bool, in_group: bool) -> bool {
+        let shift = if is_owner {
+            6
+        } else if in_group {
+            3
+        } else {
+            0
+        };
+        let triplet = (self.0 >> shift) & 0o7;
+        match kind {
+            AccessKind::Read => triplet & 0o4 != 0,
+            AccessKind::Write => triplet & 0o2 != 0,
+        }
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:03o}", self.0)
+    }
+}
+
+impl Default for Mode {
+    /// Defaults to [`Mode::PRIVATE`] (`0o600`).
+    fn default() -> Self {
+        Mode::PRIVATE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids() {
+        assert!(UserId::ROOT.is_root());
+        assert!(!UserId::new(5).is_root());
+        assert_eq!(UserId::new(5).get(), 5);
+        assert_eq!(GroupId::new(7).get(), 7);
+        assert_eq!(format!("{}", UserId::new(3)), "uid:3");
+        assert_eq!(format!("{}", GroupId::new(4)), "gid:4");
+    }
+
+    #[test]
+    fn gid_limit_is_18_bits() {
+        assert_eq!(GroupId::MAX, 262_143);
+        let g = GroupId::new(GroupId::MAX);
+        assert_eq!(g.get(), GroupId::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "group ID exceeds 18 bits")]
+    fn oversized_gid_panics() {
+        GroupId::new(GroupId::MAX + 1);
+    }
+
+    #[test]
+    fn owner_class_takes_precedence() {
+        // 0o077: owner has NOTHING even though group/other have all.
+        let m = Mode::new(0o077);
+        assert!(!m.allows(AccessKind::Read, true, true));
+        assert!(m.allows(AccessKind::Read, false, true));
+        assert!(m.allows(AccessKind::Write, false, false));
+    }
+
+    #[test]
+    fn full_matrix_600() {
+        let m = Mode::PRIVATE;
+        assert!(m.allows(AccessKind::Read, true, false));
+        assert!(m.allows(AccessKind::Write, true, false));
+        for kind in [AccessKind::Read, AccessKind::Write] {
+            assert!(!m.allows(kind, false, true));
+            assert!(!m.allows(kind, false, false));
+        }
+    }
+
+    #[test]
+    fn wide_open_allows_everyone() {
+        let m = Mode::WIDE_OPEN;
+        for kind in [AccessKind::Read, AccessKind::Write] {
+            for (o, g) in [(true, false), (false, true), (false, false)] {
+                assert!(m.allows(kind, o, g));
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_octal() {
+        assert_eq!(Mode::new(0o640).to_string(), "640");
+        assert_eq!(Mode::new(0o7).to_string(), "007");
+    }
+
+    #[test]
+    #[should_panic(expected = "nine rwx bits")]
+    fn oversized_mode_panics() {
+        Mode::new(0o1777);
+    }
+}

@@ -1,0 +1,966 @@
+//! The FsEncr memory controller (Figures 5 and 7).
+//!
+//! Every 64-byte request that misses the LLC lands here. The controller:
+//!
+//! 1. decides from the DF (DAX-file) designation whether the request
+//!    needs one pad (`OTP_mem`) or two (`OTP_mem XOR OTP_file`);
+//! 2. fetches the MECB (and, for file lines, the FECB) through the
+//!    Merkle-verified metadata system, generating the pads in parallel
+//!    with the data access so AES latency stays off the critical path;
+//! 3. for file lines, extracts (Group ID, File ID) from the FECB and
+//!    resolves the file key via the OTT, falling back to the encrypted
+//!    spill region on an OTT miss;
+//! 4. on writes, increments the minor counter(s) — handling minor-counter
+//!    overflow by re-encrypting the page under the bumped major — and
+//!    lets the metadata system apply the Osiris stop-loss rule.
+//!
+//! The controller is *functional*: ciphertext really lands in the NVM
+//! model and the ECC oracle really drives crash recovery.
+//!
+//! ## The DF designation
+//!
+//! In hardware the DF-bit travels inside the physical address (bit 51).
+//! In the simulator the caches index by stripped line address, so the
+//! controller holds the equivalent information as a set of file-page
+//! frames, updated on exactly the same kernel events that would set or
+//! clear PTE bits (page fault, unlink). This is behaviourally identical —
+//! the set is consulted in zero simulated time, like a wire — and it lets
+//! dirty write-backs that arrive without an address tag find their
+//! engine. The PTE-level DF-bit is still modelled in `fsencr_fs` for
+//! fidelity.
+
+use std::collections::{HashMap, HashSet};
+
+use fsencr_crypto::{ctr, Aes128, Key128, PadDomain, PadInput};
+use fsencr_nvm::{LineAddr, NvmDevice, PageId, PhysAddr, LINE_BYTES};
+use fsencr_secmem::{EccStore, Fecb, Mecb, MetadataLayout, MetadataSystem, TamperError};
+use fsencr_sim::{config::SecurityConfig, Counter, Cycle, Histogram, StatSource};
+
+use crate::ott::OpenTunnelTable;
+use crate::spill::{OttSpill, SpillError};
+
+/// Errors surfaced by the memory datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// Merkle verification failed — tampering or replay detected.
+    Tamper(TamperError),
+    /// A file line was accessed but no key for its (gid, fid) exists in
+    /// the OTT or the spill region.
+    KeyUnavailable {
+        /// Group ID from the FECB.
+        gid: u32,
+        /// File ID from the FECB.
+        fid: u32,
+    },
+    /// The OTT spill region overflowed.
+    SpillFull,
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::Tamper(e) => write!(f, "{e}"),
+            MemError::KeyUnavailable { gid, fid } => {
+                write!(f, "no file key for gid {gid} fid {fid}")
+            }
+            MemError::SpillFull => f.write_str("ott spill region is full"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+impl From<TamperError> for MemError {
+    fn from(e: TamperError) -> Self {
+        MemError::Tamper(e)
+    }
+}
+
+impl From<SpillError> for MemError {
+    fn from(e: SpillError) -> Self {
+        match e {
+            SpillError::Full => MemError::SpillFull,
+            SpillError::Tamper(t) => MemError::Tamper(t),
+        }
+    }
+}
+
+/// Datapath counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CtrlStats {
+    /// Latency distribution of data-line reads (request to plaintext).
+    pub read_latency: Histogram,
+    /// Data-line reads served.
+    pub reads: Counter,
+    /// Data-line writes served.
+    pub writes: Counter,
+    /// Reads/writes that took the file-engine (dual-pad) path.
+    pub file_accesses: Counter,
+    /// Page re-encryptions triggered by minor-counter overflow.
+    pub overflow_reencryptions: Counter,
+    /// Pages shredded.
+    pub shredded_pages: Counter,
+}
+
+/// Outcome of post-crash Osiris recovery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Lines whose counters were already consistent on media.
+    pub clean: u64,
+    /// Lines whose counters were repaired via the ECC oracle.
+    pub repaired: u64,
+    /// Lines no counter candidate could explain (data loss).
+    pub unrecoverable: u64,
+}
+
+/// The processor-resident secrets that accompany a migrated NVM module:
+/// exported through an authenticated operator interaction (Section VI) and
+/// installed into the receiving processor.
+#[derive(Clone, Copy)]
+pub struct ModuleEnvelope {
+    /// The general memory-encryption key.
+    pub mem_key: Key128,
+    /// The OTT key protecting spilled file keys.
+    pub ott_key: Key128,
+    /// The Merkle root authenticating the module's entire metadata.
+    pub root: [u8; 8],
+}
+
+impl std::fmt::Debug for ModuleEnvelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModuleEnvelope")
+            .field("root", &self.root)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Whether the controller encrypts at all (plain ext4-DAX baseline versus
+/// any secure configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlMode {
+    /// Pass-through: no encryption, no metadata, no integrity.
+    Unencrypted,
+    /// Counter-mode memory encryption + Merkle integrity; the file engine
+    /// additionally engages for lines whose page carries the DF
+    /// designation.
+    Encrypted,
+}
+
+/// The memory controller plus the NVM device behind it.
+pub struct MemoryController {
+    mode: CtrlMode,
+    nvm: NvmDevice,
+    meta: MetadataSystem,
+    ecc: EccStore,
+    ott: OpenTunnelTable,
+    spill: OttSpill,
+    mem_aes: Aes128,
+    mem_key: Key128,
+    ott_key: Key128,
+    schedules: HashMap<Key128, Aes128>,
+    /// Frames currently designated as encrypted DAX file pages.
+    file_pages: HashSet<u64>,
+    /// FsEncr lock-out after failed boot authentication (Section VI).
+    locked: bool,
+    aes_cycles: u64,
+    direct_encryption: bool,
+    stop_loss: u32,
+    stats: CtrlStats,
+}
+
+impl std::fmt::Debug for MemoryController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryController")
+            .field("mode", &self.mode)
+            .field("locked", &self.locked)
+            .field("file_pages", &self.file_pages.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MemoryController {
+    /// Builds the controller.
+    ///
+    /// `layout` fixes the metadata placement; `mem_key`/`ott_key` are the
+    /// processor-fused keys; `cfg` supplies engine latencies, metadata
+    /// cache geometry and the Osiris stop-loss bound.
+    pub fn new(
+        mode: CtrlMode,
+        layout: MetadataLayout,
+        cfg: &SecurityConfig,
+        mem_key: Key128,
+        ott_key: Key128,
+        nvm: NvmDevice,
+    ) -> Self {
+        assert!(
+            nvm.capacity_bytes() >= layout.total_bytes(),
+            "device too small for layout"
+        );
+        let spill = OttSpill::new(layout.ott_base(), layout.ott_bytes().max(64), &ott_key);
+        let meta = MetadataSystem::new(layout, cfg);
+        MemoryController {
+            mode,
+            nvm,
+            meta,
+            ecc: EccStore::new(),
+            ott: OpenTunnelTable::new(cfg.ott_entries(), cfg.ott_latency_cycles),
+            spill,
+            mem_aes: Aes128::new(&mem_key),
+            mem_key,
+            ott_key,
+            schedules: HashMap::new(),
+            file_pages: HashSet::new(),
+            locked: false,
+            aes_cycles: cfg.aes_ns,
+            direct_encryption: cfg.direct_encryption,
+            stop_loss: cfg.osiris_stop_loss.max(1),
+            stats: CtrlStats::default(),
+        }
+    }
+
+    /// The device behind the controller (stats, media inspection).
+    pub fn nvm(&self) -> &NvmDevice {
+        &self.nvm
+    }
+
+    /// Mutable device access for crash-injection fixtures and attackers.
+    pub fn nvm_mut(&mut self) -> &mut NvmDevice {
+        &mut self.nvm
+    }
+
+    /// Datapath counters.
+    pub fn stats(&self) -> &CtrlStats {
+        &self.stats
+    }
+
+    /// OTT counters.
+    pub fn ott_stats(&self) -> &crate::ott::OttStats {
+        self.ott.stats()
+    }
+
+    /// Metadata-system counters.
+    pub fn meta_stats(&self) -> &fsencr_secmem::MetaStats {
+        self.meta.stats()
+    }
+
+    /// Metadata-cache hit rate.
+    pub fn meta_hit_rate(&self) -> f64 {
+        self.meta.cache_hit_rate()
+    }
+
+    /// Resets every measurement counter (controller, OTT, metadata,
+    /// device).
+    pub fn reset_stats(&mut self) {
+        self.stats = CtrlStats::default();
+        self.ott.reset_stats();
+        self.meta.reset_stats();
+        self.nvm.reset_stats();
+    }
+
+    /// Whether the frame is currently a DF (encrypted DAX file) page.
+    pub fn is_file_page(&self, page: PageId) -> bool {
+        self.file_pages.contains(&page.get())
+    }
+
+    /// Locks the file engine (failed boot authentication): file lines are
+    /// served decrypted by the memory key only, which yields ciphertext
+    /// gibberish — exactly the paper's defence against OS-swap attackers.
+    pub fn lock_file_engine(&mut self) {
+        self.locked = true;
+    }
+
+    /// Unlocks the file engine (successful admin authentication).
+    pub fn unlock_file_engine(&mut self) {
+        self.locked = false;
+    }
+
+    /// Whether the file engine is locked out.
+    pub fn is_locked(&self) -> bool {
+        self.locked
+    }
+
+    fn schedule_for(&mut self, key: Key128) -> &Aes128 {
+        self.schedules.entry(key).or_insert_with(|| Aes128::new(&key))
+    }
+
+    fn mem_pad(&self, page: PageId, block: u8, mecb: &Mecb) -> [u8; LINE_BYTES] {
+        ctr::line_pad_with(
+            &self.mem_aes,
+            &PadInput {
+                page_id: page.get(),
+                block_in_page: block,
+                major: mecb.major(),
+                minor: mecb.minor(block as usize),
+                domain: PadDomain::Memory,
+            },
+        )
+    }
+
+    fn file_pad(&mut self, key: Key128, page: PageId, block: u8, fecb: &Fecb) -> [u8; LINE_BYTES] {
+        let input = PadInput {
+            page_id: page.get(),
+            block_in_page: block,
+            major: fecb.major() as u64,
+            minor: fecb.minor(block as usize),
+            domain: PadDomain::File,
+        };
+        ctr::line_pad_with(self.schedule_for(key), &input)
+    }
+
+    /// Resolves the file key for `(gid, fid)`: OTT first, spill on miss
+    /// (with OTT refill, possibly spilling the OTT's own victim).
+    fn resolve_key(
+        &mut self,
+        now: Cycle,
+        gid: u32,
+        fid: u32,
+    ) -> Result<(Key128, Cycle), MemError> {
+        let mut t = now + self.ott.latency_cycles();
+        if let Some(key) = self.ott.lookup(gid, fid) {
+            return Ok((key, t));
+        }
+        let (found, t_spill) = self
+            .spill
+            .lookup(&mut self.meta, &mut self.nvm, t, gid, fid)?;
+        t = t_spill + self.aes_cycles; // decrypt the spilled key
+        let key = found.ok_or(MemError::KeyUnavailable { gid, fid })?;
+        if let Some((vg, vf, vkey)) = self.ott.insert(gid, fid, key) {
+            t = self
+                .spill
+                .insert(&mut self.meta, &mut self.nvm, t, vg, vf, &vkey)?;
+        }
+        Ok((key, t))
+    }
+
+    /// Reads one line (Figure 7, read path). Returns the plaintext and
+    /// the completion time.
+    ///
+    /// # Errors
+    ///
+    /// Integrity failures and missing file keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the data region in encrypted mode.
+    pub fn read_line(
+        &mut self,
+        now: Cycle,
+        addr: PhysAddr,
+    ) -> Result<([u8; LINE_BYTES], Cycle), MemError> {
+        let line = addr.line();
+        self.stats.reads.incr();
+        let (cipher, t_data) = self.nvm.read_line(now, addr);
+        if self.mode == CtrlMode::Unencrypted {
+            self.stats.read_latency.record(t_data.since(now).get());
+            return Ok((cipher, t_data));
+        }
+        assert!(
+            self.meta.layout().is_data(line),
+            "{line:?} outside encrypted data region"
+        );
+        let page = line.page();
+        let block = line.block_in_page();
+
+        // OTP_mem in parallel with the data fetch.
+        let mecb_addr = self.meta.layout().mecb_addr(page);
+        let (mecb_bytes, macc) = self.meta.read_block(&mut self.nvm, now, mecb_addr)?;
+        let mecb = Mecb::from_bytes(&mecb_bytes);
+        let pad_mem = self.mem_pad(page, block, &mecb);
+        // Counter mode generates the pad in parallel with the data fetch;
+        // the direct-encryption ablation decrypts only after both the data
+        // and the counter are available.
+        let t_pad_mem = macc.done + self.aes_cycles;
+
+        let mut plain = cipher;
+        ctr::xor_in_place(&mut plain, &pad_mem);
+        let mut done = if self.direct_encryption {
+            t_data.max(macc.done) + self.aes_cycles
+        } else {
+            t_data.max(t_pad_mem)
+        };
+
+        if self.file_pages.contains(&page.get()) && !self.locked {
+            self.stats.file_accesses.incr();
+            let fecb_addr = self.meta.layout().fecb_addr(page);
+            let (fecb_bytes, facc) = self.meta.read_block(&mut self.nvm, now, fecb_addr)?;
+            let fecb = Fecb::from_bytes(&fecb_bytes);
+            let (key, t_key) = self.resolve_key(facc.done, fecb.gid(), fecb.fid())?;
+            let pad_file = self.file_pad(key, page, block, &fecb);
+            ctr::xor_in_place(&mut plain, &pad_file);
+            done = if self.direct_encryption {
+                done.max(t_key) + self.aes_cycles
+            } else {
+                done.max(t_key + self.aes_cycles)
+            };
+        }
+        let done = done + 1; // final XOR
+        self.stats.read_latency.record(done.since(now).get());
+        Ok((plain, done))
+    }
+
+    /// Writes one line (Figure 7, write path). Returns the completion
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// Integrity failures and missing file keys.
+    pub fn write_line(
+        &mut self,
+        now: Cycle,
+        addr: PhysAddr,
+        plaintext: &[u8; LINE_BYTES],
+    ) -> Result<Cycle, MemError> {
+        let line = addr.line();
+        self.stats.writes.incr();
+        if self.mode == CtrlMode::Unencrypted {
+            return Ok(self.nvm.write_line(now, addr, plaintext));
+        }
+        assert!(
+            self.meta.layout().is_data(line),
+            "{line:?} outside encrypted data region"
+        );
+        let page = line.page();
+        let block = line.block_in_page();
+
+        // Memory counter: increment minor, handling overflow.
+        let mecb_addr = self.meta.layout().mecb_addr(page);
+        let (mecb_bytes, macc) = self.meta.read_block(&mut self.nvm, now, mecb_addr)?;
+        let mut mecb = Mecb::from_bytes(&mecb_bytes);
+        let mut t = macc.done;
+        let mut mecb_overflowed = false;
+        if mecb.increment(block as usize) {
+            // Two-phase overflow: first pin the exact pre-carry minors on
+            // media (so a crash mid-re-encryption leaves every old line at
+            // delta zero), then re-encrypt, then persist the carried block.
+            self.meta
+                .write_block(&mut self.nvm, t, mecb_addr, mecb.to_bytes())?;
+            t = self.meta.persist_block(&mut self.nvm, t, mecb_addr)?;
+            t = self.reencrypt_page_mem(t, page, &mecb)?;
+            mecb.carry_major();
+            mecb.increment(block as usize);
+            mecb_overflowed = true;
+        }
+        let macc = self
+            .meta
+            .write_block(&mut self.nvm, t, mecb_addr, mecb.to_bytes())?;
+        if mecb_overflowed {
+            // A major-counter bump moves the whole page's pads further
+            // than the Osiris stop-loss window can recover; it must reach
+            // the media before any line encrypted under it does.
+            self.meta.persist_block(&mut self.nvm, macc.done, mecb_addr)?;
+        }
+        let pad_mem = self.mem_pad(page, block, &mecb);
+        let mut t_pads = macc.done + self.aes_cycles;
+
+        let mut cipher = *plaintext;
+        ctr::xor_in_place(&mut cipher, &pad_mem);
+
+        if self.file_pages.contains(&page.get()) && !self.locked {
+            self.stats.file_accesses.incr();
+            let fecb_addr = self.meta.layout().fecb_addr(page);
+            let (fecb_bytes, facc) = self.meta.read_block(&mut self.nvm, now, fecb_addr)?;
+            let mut fecb = Fecb::from_bytes(&fecb_bytes);
+            let mut tf = facc.done;
+            let (key, t_key) = self.resolve_key(tf, fecb.gid(), fecb.fid())?;
+            tf = t_key;
+            let mut fecb_overflowed = false;
+            if fecb.increment(block as usize) {
+                self.meta
+                    .write_block(&mut self.nvm, tf, fecb_addr, fecb.to_bytes())?;
+                tf = self.meta.persist_block(&mut self.nvm, tf, fecb_addr)?;
+                tf = self.reencrypt_page_file(tf, page, key, &fecb)?;
+                fecb.carry_major();
+                fecb.increment(block as usize);
+                fecb_overflowed = true;
+            }
+            let facc = self
+                .meta
+                .write_block(&mut self.nvm, tf, fecb_addr, fecb.to_bytes())?;
+            if fecb_overflowed {
+                self.meta.persist_block(&mut self.nvm, facc.done, fecb_addr)?;
+            }
+            let pad_file = self.file_pad(key, page, block, &fecb);
+            ctr::xor_in_place(&mut cipher, &pad_file);
+            t_pads = t_pads.max(facc.done + self.aes_cycles);
+        }
+
+        self.ecc.record(line, plaintext);
+        Ok(self.nvm.write_line(t_pads + 1, addr, &cipher))
+    }
+
+    /// Minor-counter overflow: re-pad every line of `page` from the old
+    /// memory counters to `(major + 1, minor = 0)`. Costs 64 reads + 64
+    /// writes, as the paper describes.
+    fn reencrypt_page_mem(&mut self, now: Cycle, page: PageId, old: &Mecb) -> Result<Cycle, MemError> {
+        self.stats.overflow_reencryptions.incr();
+        let mut t = now;
+        let mut new = *old;
+        new.carry_major();
+        for line in page.lines() {
+            let block = line.block_in_page();
+            let (cipher, t_read) = self.nvm.read_line(t, PhysAddr::new(line.get()));
+            let mut data = cipher;
+            ctr::xor_in_place(&mut data, &self.mem_pad(page, block, old));
+            ctr::xor_in_place(&mut data, &self.mem_pad(page, block, &new));
+            t = self.nvm.write_line(t_read, PhysAddr::new(line.get()), &data);
+        }
+        Ok(t + self.aes_cycles)
+    }
+
+    /// Same as [`Self::reencrypt_page_mem`] but for the file-pad component.
+    fn reencrypt_page_file(
+        &mut self,
+        now: Cycle,
+        page: PageId,
+        key: Key128,
+        old: &Fecb,
+    ) -> Result<Cycle, MemError> {
+        self.stats.overflow_reencryptions.incr();
+        let mut t = now;
+        let mut new = *old;
+        new.carry_major();
+        for line in page.lines() {
+            let block = line.block_in_page();
+            let (cipher, t_read) = self.nvm.read_line(t, PhysAddr::new(line.get()));
+            let mut data = cipher;
+            ctr::xor_in_place(&mut data, &self.file_pad(key, page, block, old));
+            ctr::xor_in_place(&mut data, &self.file_pad(key, page, block, &new));
+            t = self.nvm.write_line(t_read, PhysAddr::new(line.get()), &data);
+        }
+        Ok(t + self.aes_cycles)
+    }
+
+    // ------------------------------------------------------------------
+    // MMIO protocol: what the kernel tells the controller (Section III-F).
+    // ------------------------------------------------------------------
+
+    /// Kernel MMIO: install a file key (file creation / open).
+    ///
+    /// # Errors
+    ///
+    /// Spill-region failures if the OTT evicts a victim.
+    pub fn install_key(
+        &mut self,
+        now: Cycle,
+        gid: u32,
+        fid: u32,
+        key: Key128,
+    ) -> Result<Cycle, MemError> {
+        let mut t = now + 1; // MMIO register write
+        if let Some((vg, vf, vkey)) = self.ott.insert(gid, fid, key) {
+            t = self
+                .spill
+                .insert(&mut self.meta, &mut self.nvm, t, vg, vf, &vkey)?;
+        }
+        Ok(t)
+    }
+
+    /// Kernel MMIO: remove a file key everywhere (file deletion).
+    ///
+    /// # Errors
+    ///
+    /// Spill-region integrity failures.
+    pub fn remove_key(&mut self, now: Cycle, gid: u32, fid: u32) -> Result<Cycle, MemError> {
+        self.ott.remove(gid, fid);
+        let (_, t) = self
+            .spill
+            .remove(&mut self.meta, &mut self.nvm, now + 1, gid, fid)?;
+        Ok(t)
+    }
+
+    /// Kernel MMIO, page-fault path: stamp `page`'s FECB with the owning
+    /// (gid, fid) and designate the frame as a DF page.
+    ///
+    /// # Errors
+    ///
+    /// Metadata integrity failures.
+    pub fn stamp_file_page(
+        &mut self,
+        now: Cycle,
+        page: PageId,
+        gid: u32,
+        fid: u32,
+    ) -> Result<Cycle, MemError> {
+        let fecb_addr = self.meta.layout().fecb_addr(page);
+        let (bytes, acc) = self.meta.read_block(&mut self.nvm, now, fecb_addr)?;
+        let mut fecb = Fecb::from_bytes(&bytes);
+        fecb.stamp(gid, fid);
+        let acc = self
+            .meta
+            .write_block(&mut self.nvm, acc.done, fecb_addr, fecb.to_bytes())?;
+        // The identity stamp must be durable: post-crash recovery decides
+        // "is this a file page?" from the on-media FECB. Page faults are
+        // rare, so the write-through is cheap.
+        let t = self.meta.persist_block(&mut self.nvm, acc.done, fecb_addr)?;
+        self.file_pages.insert(page.get());
+        Ok(t)
+    }
+
+    /// Removes the DF designation (page unmapped from a file).
+    pub fn clear_file_page(&mut self, page: PageId) {
+        self.file_pages.remove(&page.get());
+    }
+
+    /// Silent-Shredder-style secure deletion (Section VI): bump the
+    /// page's major counters and reset the minors, making every previous
+    /// OTP unreproducible — the old ciphertext decrypts to gibberish even
+    /// with the correct key. ECC tags are dropped so recovery cannot
+    /// resurrect the data either.
+    ///
+    /// # Errors
+    ///
+    /// Metadata integrity failures.
+    pub fn shred_page(&mut self, now: Cycle, page: PageId) -> Result<Cycle, MemError> {
+        self.stats.shredded_pages.incr();
+        let mecb_addr = self.meta.layout().mecb_addr(page);
+        let (bytes, acc) = self.meta.read_block(&mut self.nvm, now, mecb_addr)?;
+        let mut mecb = Mecb::from_bytes(&bytes);
+        mecb.carry_major();
+        let mut t = self
+            .meta
+            .write_block(&mut self.nvm, acc.done, mecb_addr, mecb.to_bytes())?
+            .done;
+        if self.file_pages.contains(&page.get()) {
+            let fecb_addr = self.meta.layout().fecb_addr(page);
+            let (bytes, acc) = self.meta.read_block(&mut self.nvm, t, fecb_addr)?;
+            let mut fecb = Fecb::from_bytes(&bytes);
+            fecb.carry_major();
+            fecb.stamp(0, 0);
+            t = self
+                .meta
+                .write_block(&mut self.nvm, acc.done, fecb_addr, fecb.to_bytes())?
+                .done;
+            self.file_pages.remove(&page.get());
+        }
+        for line in page.lines() {
+            self.ecc.clear(line);
+        }
+        Ok(t)
+    }
+
+    // ------------------------------------------------------------------
+    // Crash consistency (Section III-H).
+    // ------------------------------------------------------------------
+
+    /// Clean shutdown: flush all dirty metadata.
+    pub fn flush(&mut self, now: Cycle) -> Cycle {
+        self.meta.flush(&mut self.nvm, now)
+    }
+
+    /// Power loss. Cached metadata and pending Osiris state vanish; the
+    /// OTT survives (flushed with backup power, as the paper's second
+    /// option); the on-chip root register survives.
+    pub fn crash(&mut self) {
+        self.meta.crash();
+    }
+
+    /// Osiris recovery: for every line the ECC oracle knows about, try
+    /// counter candidates up to the stop-loss bound, repair the on-media
+    /// counter blocks, then rebuild the Merkle tree.
+    pub fn recover(&mut self) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        if self.mode == CtrlMode::Unencrypted {
+            return report;
+        }
+        // Collect tagged lines grouped by page.
+        let mut pages: HashMap<u64, Vec<LineAddr>> = HashMap::new();
+        for line in self.tagged_data_lines() {
+            pages.entry(line.page().get()).or_default().push(line);
+        }
+        let layout = self.meta.layout().clone();
+        for (page_no, lines) in pages {
+            let page = PageId::new(page_no);
+            let mecb_raw = self.nvm.peek_line(PhysAddr::new(layout.mecb_addr(page).get()));
+            let mecb = Mecb::from_bytes(&mecb_raw);
+            let fecb_raw = self.nvm.peek_line(PhysAddr::new(layout.fecb_addr(page).get()));
+            let fecb = Fecb::from_bytes(&fecb_raw);
+            let is_file = fecb.gid() != 0 || fecb.fid() != 0;
+            let key = if is_file {
+                self.file_pages.insert(page.get());
+                match self.ott.lookup(fecb.gid(), fecb.fid()) {
+                    Some(k) => Some(k),
+                    None => self
+                        .spill
+                        .lookup(&mut self.meta, &mut self.nvm, Cycle::ZERO, fecb.gid(), fecb.fid())
+                        .ok()
+                        .and_then(|(k, _)| k),
+                }
+            } else {
+                None
+            };
+
+            // Phase 1: per-line candidate search. A crash can catch a
+            // minor-overflow page re-encryption in flight, so candidates
+            // include the next major with small minors.
+            struct Found {
+                line: LineAddr,
+                block: usize,
+                plain: [u8; LINE_BYTES],
+                m_bump: bool,
+                m_minor: u8,
+                f_bump: bool,
+                f_minor: u8,
+                delta: u32,
+            }
+            let mut finds: Vec<Found> = Vec::new();
+            let mut any_m_bump = false;
+            let mut any_f_bump = false;
+            for line in lines {
+                let block = line.block_in_page() as usize;
+                let cipher = self.nvm.peek_line(PhysAddr::new(line.get()));
+                let mut mem_cands: Vec<(bool, u8)> = Vec::new();
+                for dm in 0..=self.stop_loss {
+                    let v = mecb.minor(block) as u32 + dm;
+                    if v < 128 {
+                        mem_cands.push((false, v as u8));
+                    }
+                    mem_cands.push((true, dm as u8));
+                }
+                let file_cands: Vec<(bool, u8)> = if is_file {
+                    let mut c = Vec::new();
+                    for df in 0..=self.stop_loss {
+                        let v = fecb.minor(block) as u32 + df;
+                        if v < 128 {
+                            c.push((false, v as u8));
+                        }
+                        c.push((true, df as u8));
+                    }
+                    c
+                } else {
+                    vec![(false, 0)]
+                };
+                let mut found = None;
+                'search: for &(m_bump, m_minor) in &mem_cands {
+                    for &(f_bump, f_minor) in &file_cands {
+                        let mut cand = Mecb::new();
+                        cand.set(mecb.major() + m_bump as u64, block, m_minor);
+                        let mut plain = cipher;
+                        ctr::xor_in_place(&mut plain, &self.mem_pad(page, block as u8, &cand));
+                        if is_file {
+                            let Some(k) = key else { continue };
+                            let mut fcand = Fecb::new(fecb.gid(), fecb.fid());
+                            fcand.set(fecb.major() + f_bump as u32, block, f_minor);
+                            let pad = self.file_pad(k, page, block as u8, &fcand);
+                            ctr::xor_in_place(&mut plain, &pad);
+                        }
+                        if self.ecc.check(line, &plain) {
+                            let delta_m = if m_bump {
+                                1 + m_minor as u32
+                            } else {
+                                (m_minor - mecb.minor(block)) as u32
+                            };
+                            let delta_f = if !is_file {
+                                0
+                            } else if f_bump {
+                                1 + f_minor as u32
+                            } else {
+                                (f_minor - fecb.minor(block)) as u32
+                            };
+                            found = Some(Found {
+                                line,
+                                block,
+                                plain,
+                                m_bump,
+                                m_minor,
+                                f_bump,
+                                f_minor,
+                                delta: delta_m + delta_f,
+                            });
+                            break 'search;
+                        }
+                    }
+                }
+                match found {
+                    Some(f) => {
+                        any_m_bump |= f.m_bump;
+                        any_f_bump |= f.f_bump;
+                        if f.delta == 0 {
+                            report.clean += 1;
+                        } else {
+                            report.repaired += 1;
+                        }
+                        finds.push(f);
+                    }
+                    None => report.unrecoverable += 1,
+                }
+            }
+
+            // Phase 2: finalize. If any line was caught mid-overflow,
+            // complete the page re-encryption under the bumped major;
+            // otherwise just roll the minors forward.
+            let mut final_mecb = mecb;
+            let mut final_fecb = fecb;
+            if any_m_bump {
+                final_mecb.carry_major();
+            }
+            if any_f_bump {
+                final_fecb.carry_major();
+            }
+            let mut counters_changed = any_m_bump || any_f_bump;
+            for f in &finds {
+                let target_m = if any_m_bump {
+                    if f.m_bump { f.m_minor } else { 0 }
+                } else {
+                    f.m_minor
+                };
+                if final_mecb.minor(f.block) != target_m {
+                    final_mecb.set(final_mecb.major(), f.block, target_m);
+                    counters_changed = true;
+                }
+                if is_file {
+                    let target_f = if any_f_bump {
+                        if f.f_bump { f.f_minor } else { 0 }
+                    } else {
+                        f.f_minor
+                    };
+                    if final_fecb.minor(f.block) != target_f {
+                        final_fecb.set(final_fecb.major(), f.block, target_f);
+                        counters_changed = true;
+                    }
+                }
+            }
+            if any_m_bump || any_f_bump {
+                // Re-encrypt every recovered line under the final counters.
+                for f in &finds {
+                    let mut cipher = f.plain;
+                    let mut cand = Mecb::new();
+                    cand.set(final_mecb.major(), f.block, final_mecb.minor(f.block));
+                    ctr::xor_in_place(&mut cipher, &self.mem_pad(page, f.block as u8, &cand));
+                    if is_file {
+                        if let Some(k) = key {
+                            let mut fcand = Fecb::new(fecb.gid(), fecb.fid());
+                            fcand.set(final_fecb.major(), f.block, final_fecb.minor(f.block));
+                            let pad = self.file_pad(k, page, f.block as u8, &fcand);
+                            ctr::xor_in_place(&mut cipher, &pad);
+                        }
+                    }
+                    self.nvm.poke_line(PhysAddr::new(f.line.get()), &cipher);
+                }
+            }
+            if counters_changed {
+                self.nvm
+                    .poke_line(PhysAddr::new(layout.mecb_addr(page).get()), &final_mecb.to_bytes());
+                if is_file {
+                    self.nvm
+                        .poke_line(PhysAddr::new(layout.fecb_addr(page).get()), &final_fecb.to_bytes());
+                }
+            }
+        }
+        self.meta.rebuild(&mut self.nvm);
+        report
+    }
+
+    // ------------------------------------------------------------------
+    // Module transfer (Section VI, "Moving Entire Filesystem To New
+    // Machine").
+    // ------------------------------------------------------------------
+
+    /// Exports the processor-resident secrets after flushing every OTT
+    /// entry to the encrypted spill region and all metadata to media. The
+    /// envelope travels through an authenticated operator channel; the
+    /// DIMM (with its ECC lanes) travels physically.
+    ///
+    /// # Errors
+    ///
+    /// Spill or metadata failures during the flush.
+    pub fn export_module(&mut self, now: Cycle) -> Result<ModuleEnvelope, MemError> {
+        let mut t = now;
+        for (gid, fid, key) in self.ott.drain() {
+            t = self
+                .spill
+                .insert(&mut self.meta, &mut self.nvm, t, gid, fid, &key)?;
+        }
+        self.meta.flush(&mut self.nvm, t);
+        Ok(ModuleEnvelope {
+            mem_key: self.mem_key,
+            ott_key: self.ott_key,
+            root: self.meta.root(),
+        })
+    }
+
+    /// Imports a transferred module on a new processor: reconstructs the
+    /// metadata system over the migrated device, authenticates it against
+    /// the envelope's root digest, and rebuilds the DF-page designations
+    /// from the on-media FECB identities.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Tamper`] if the media does not hash to the envelope's
+    /// root — the module was modified in transit.
+    pub fn import_module(
+        layout: MetadataLayout,
+        cfg: &SecurityConfig,
+        envelope: &ModuleEnvelope,
+        nvm: NvmDevice,
+        ecc: EccStore,
+    ) -> Result<Self, MemError> {
+        let mut ctrl = MemoryController::new(
+            CtrlMode::Encrypted,
+            layout,
+            cfg,
+            envelope.mem_key,
+            envelope.ott_key,
+            nvm,
+        );
+        ctrl.ecc = ecc;
+        ctrl.meta.rebuild(&mut ctrl.nvm);
+        if ctrl.meta.root() != envelope.root {
+            return Err(MemError::Tamper(TamperError {
+                addr: LineAddr::new(ctrl.meta.layout().meta_base()),
+                level: usize::MAX,
+            }));
+        }
+        // Re-derive the DF designations from the on-media FECB stamps.
+        let layout = ctrl.meta.layout().clone();
+        let frames: Vec<u64> = ctrl.nvm.storage().frames().collect();
+        for frame in frames {
+            let byte = frame * fsencr_nvm::PAGE_BYTES as u64;
+            if byte >= layout.data_bytes() {
+                continue;
+            }
+            let page = PageId::new(frame);
+            let fecb_raw = ctrl.nvm.peek_line(PhysAddr::new(layout.fecb_addr(page).get()));
+            let fecb = Fecb::from_bytes(&fecb_raw);
+            if fecb.gid() != 0 || fecb.fid() != 0 {
+                ctrl.file_pages.insert(frame);
+            }
+        }
+        Ok(ctrl)
+    }
+
+    /// Decomposes the controller into the parts that physically travel
+    /// with the DIMM: the device contents and its ECC lanes.
+    pub fn into_media(self) -> (NvmDevice, EccStore) {
+        (self.nvm, self.ecc)
+    }
+
+    fn tagged_data_lines(&self) -> Vec<LineAddr> {
+        let data_bytes = self.meta.layout().data_bytes();
+        let mut lines: Vec<LineAddr> = self
+            .ecc
+            .lines()
+            .filter(|l| l.get() < data_bytes)
+            .collect();
+        lines.sort_by_key(|l| l.get());
+        lines
+    }
+}
+
+impl StatSource for MemoryController {
+    fn stat_rows(&self) -> Vec<(String, u64)> {
+        let mut rows = vec![
+            ("ctrl.reads".to_string(), self.stats.reads.get()),
+            ("ctrl.writes".to_string(), self.stats.writes.get()),
+            ("ctrl.file_accesses".to_string(), self.stats.file_accesses.get()),
+            (
+                "ctrl.overflow_reencryptions".to_string(),
+                self.stats.overflow_reencryptions.get(),
+            ),
+            ("ctrl.shredded_pages".to_string(), self.stats.shredded_pages.get()),
+        ];
+        rows.extend(self.nvm.stat_rows());
+        rows.extend(self.meta.stat_rows());
+        rows.extend(self.ott.stat_rows());
+        rows
+    }
+}

@@ -1,0 +1,1530 @@
+//! The full simulated system.
+//!
+//! `Machine` wires the pieces together the way Figure 7 does: workload
+//! threads (one per core) issue byte-granular reads/writes against
+//! memory-mapped DAX files; accesses flow through the cache hierarchy; LLC
+//! misses and write-backs reach the [`MemoryController`]; the controller
+//! talks to the PCM device and the metadata system. The kernel-side
+//! events — page faults, key installs, unlink, `chmod` — go through the
+//! filesystem model and the MMIO protocol.
+//!
+//! Four security configurations are selectable, matching the evaluation:
+//!
+//! | mode | hardware | software |
+//! |---|---|---|
+//! | [`SecurityMode::Unencrypted`] | none | plain ext4-DAX |
+//! | [`SecurityMode::MemoryOnly`] | counter-mode memory encryption + Merkle | plain DAX (the paper's **baseline security**) |
+//! | [`SecurityMode::FsEncr`] | baseline + the FsEncr file engine | DF-bit set at page faults |
+//! | [`SecurityMode::Software`] | baseline hardware | eCryptfs model: page cache + page-granular software crypto |
+
+use std::collections::HashMap;
+
+use fsencr_cache::Hierarchy;
+use fsencr_crypto::{ctr, Aes128, Key128, PadDomain, PadInput};
+use fsencr_fs::{
+    AccessKind, DaxFs, FileHandle, FsError, GroupId, Ino, Mode, PageCacheModel, PageTable,
+    Pte, SoftEncrConfig, UserId,
+};
+use fsencr_nvm::{LineAddr, PageId, PhysAddr, LINE_BYTES, PAGE_BYTES};
+use fsencr_secmem::MetadataLayout;
+use fsencr_sim::{Cycle, MachineConfig};
+
+use crate::controller::{CtrlMode, MemError, MemoryController, ModuleEnvelope, RecoveryReport};
+use crate::tlb::{Tlb, PAGE_WALK_CYCLES, TLB_ENTRIES};
+use crate::trace::{TraceKind, Tracer};
+
+/// Kernel cycles charged per minor page fault (trap, fault handler,
+/// mapping insertion).
+pub const FAULT_CYCLES: u64 = 1800;
+
+/// Cycles charged per MMIO exchange with the controller at file
+/// create/open/delete (register writes + key transport).
+pub const MMIO_CYCLES: u64 = 300;
+
+/// Cycles charged for the fence ending a persist (`clwb*; sfence`).
+pub const FENCE_CYCLES: u64 = 10;
+
+/// Cycles a streaming 4 KiB page copy occupies the core (hardware
+/// prefetchers and write-combining hide most per-line latency; the page
+/// moves at roughly memcpy speed).
+pub const PAGE_COPY_CYCLES: u64 = 1200;
+
+/// Pages reserved at the head of the DAX region for the filesystem's own
+/// on-media metadata: the serialized superblock + inode table (first
+/// [`FS_IMAGE_PAGES`]) and the metadata journal ring (the rest).
+pub const FS_META_PAGES: u64 = 64;
+
+/// Pages of the reserved area holding the serialized filesystem image.
+pub const FS_IMAGE_PAGES: u64 = 56;
+
+/// Kernel cycles charged per journaled metadata operation (transaction
+/// setup + commit record), in addition to the journal-record writes.
+pub const JOURNAL_CYCLES: u64 = 500;
+
+/// Which security configuration the machine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SecurityMode {
+    /// Plain ext4-DAX, no encryption at all (Figure 3's normalisation
+    /// baseline).
+    Unencrypted,
+    /// Counter-mode memory encryption + integrity, no file engine — the
+    /// paper's "Baseline Security" (Figures 8-15 normalise to this).
+    MemoryOnly,
+    /// The paper's contribution: baseline + hardware file encryption.
+    FsEncr,
+    /// Baseline hardware + eCryptfs-style software file encryption.
+    Software,
+}
+
+impl std::fmt::Display for SecurityMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SecurityMode::Unencrypted => "ext4-dax",
+            SecurityMode::MemoryOnly => "baseline-security",
+            SecurityMode::FsEncr => "fsencr",
+            SecurityMode::Software => "software-encryption",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Machine construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineOpts {
+    /// Architectural configuration (Table III by default).
+    pub config: MachineConfig,
+    /// Bytes of general (non-DAX) memory: heaps, page cache.
+    pub general_bytes: u64,
+    /// Bytes of the DAX-formatted persistent region.
+    pub pmem_bytes: u64,
+    /// Bytes reserved for the encrypted OTT spill region.
+    pub ott_spill_bytes: u64,
+    /// Seed for keys and FEK generation.
+    pub seed: u64,
+    /// Software-encryption cost model (used in [`SecurityMode::Software`]).
+    pub softencr: SoftEncrConfig,
+}
+
+impl MachineOpts {
+    /// A small configuration for unit tests: 1 MiB general + 1 MiB DAX,
+    /// with a 64-page software page cache so it fits the general region.
+    pub fn small_test() -> Self {
+        let softencr = SoftEncrConfig {
+            page_cache_pages: 64,
+            ..SoftEncrConfig::default()
+        };
+        MachineOpts {
+            config: MachineConfig::paper_defaults(),
+            general_bytes: 1 << 20,
+            pmem_bytes: 1 << 20,
+            ott_spill_bytes: 4096,
+            seed: 0xF5EC,
+            softencr,
+        }
+    }
+
+    /// The benchmark configuration: 32 MiB general + 64 MiB DAX, enough
+    /// to exceed every cache while keeping simulations fast. The software
+    /// page cache is sized like real DRAM page caches relative to the
+    /// working sets (4096 pages = 16 MiB): capacity misses are rare and
+    /// the software-encryption cost is dominated by per-syscall layering
+    /// and per-fsync page crypto, as in the paper's eCryptfs measurement.
+    pub fn benchmark() -> Self {
+        let softencr = SoftEncrConfig {
+            page_cache_pages: 4096,
+            ..SoftEncrConfig::default()
+        };
+        MachineOpts {
+            config: MachineConfig::paper_defaults(),
+            general_bytes: 32 << 20,
+            pmem_bytes: 64 << 20,
+            ott_spill_bytes: 256 << 10,
+            seed: 0xF5EC,
+            softencr,
+        }
+    }
+}
+
+impl Default for MachineOpts {
+    fn default() -> Self {
+        MachineOpts::benchmark()
+    }
+}
+
+/// Errors surfaced by machine operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// Filesystem-level failure.
+    Fs(FsError),
+    /// Memory-datapath failure (integrity violation, missing key).
+    Mem(MemError),
+    /// Access beyond the mapped file region.
+    OutOfBounds,
+    /// The operation is not supported in the current security mode.
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::Fs(e) => write!(f, "{e}"),
+            MachineError::Mem(e) => write!(f, "{e}"),
+            MachineError::OutOfBounds => f.write_str("access beyond mapping"),
+            MachineError::Unsupported(what) => write!(f, "unsupported in this mode: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+impl From<FsError> for MachineError {
+    fn from(e: FsError) -> Self {
+        MachineError::Fs(e)
+    }
+}
+
+impl From<MemError> for MachineError {
+    fn from(e: MemError) -> Self {
+        MachineError::Mem(e)
+    }
+}
+
+/// Identifier of an mmap'ed region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MapId(u32);
+
+#[derive(Debug, Clone, Copy)]
+struct Mapping {
+    ino: Ino,
+    fek: Option<Key128>,
+    base: u64,
+    bytes: u64,
+    writable: bool,
+}
+
+/// Measurement snapshot returned by [`Machine::measurement`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Wall-clock cycles elapsed since `begin_measurement` (max over
+    /// cores).
+    pub cycles: u64,
+    /// 64-byte reads that reached the NVM (data + metadata).
+    pub nvm_reads: u64,
+    /// 64-byte writes that reached the NVM (data + metadata).
+    pub nvm_writes: u64,
+    /// Metadata-cache hit rate over the window.
+    pub meta_hit_rate: f64,
+    /// OTT hits over the window.
+    pub ott_hits: u64,
+    /// OTT misses over the window.
+    pub ott_misses: u64,
+    /// Requests that engaged the file engine.
+    pub file_accesses: u64,
+    /// TLB hit rate across cores over the window.
+    pub tlb_hit_rate: f64,
+    /// Median data-read latency at the controller, in cycles.
+    pub read_p50: u64,
+    /// 99th-percentile data-read latency at the controller, in cycles.
+    pub read_p99: u64,
+}
+
+const MAP_STRIDE: u64 = 1 << 30;
+const MAP_BASE: u64 = 1 << 40;
+
+/// The physically travelling half of a module transfer: the DIMM with its
+/// contents (including the on-media filesystem image) and its ECC lanes.
+#[derive(Debug)]
+pub struct TransferredModule {
+    nvm: fsencr_nvm::NvmDevice,
+    ecc: fsencr_secmem::EccStore,
+    opts: MachineOpts,
+}
+
+impl TransferredModule {
+    /// Mutable access to the raw device — the in-transit attacker.
+    pub fn nvm_mut(&mut self) -> &mut fsencr_nvm::NvmDevice {
+        &mut self.nvm
+    }
+}
+
+/// The simulated system: cores, caches, controller, NVM, filesystem.
+#[derive(Debug)]
+pub struct Machine {
+    mode: SecurityMode,
+    opts: MachineOpts,
+    hier: Hierarchy,
+    ctrl: MemoryController,
+    fs: DaxFs,
+    pt: PageTable,
+    mappings: HashMap<u32, Mapping>,
+    next_map: u32,
+    clocks: Vec<Cycle>,
+    // Heap (general region) bump allocator.
+    heap_next: u64,
+    // Software-encryption state.
+    page_cache: PageCacheModel,
+    soft_cfg: SoftEncrConfig,
+    pc_frames: HashMap<(u32, usize), u64>,
+    pc_free: Vec<u64>,
+    /// File pages that hold valid software-encrypted content on media
+    /// (written back at least once). Pages outside this set read as
+    /// zeroes, matching hole/fresh-block semantics.
+    sw_valid: std::collections::HashSet<(u32, usize)>,
+    sw_schedules: HashMap<Key128, Aes128>,
+    mem_key: Key128,
+    journal_cursor: u64,
+    tlbs: Vec<Tlb>,
+    tracer: Tracer,
+    measure_start: Cycle,
+}
+
+impl Machine {
+    /// Builds a machine in the given security mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the regions are not page-aligned or do not fit the
+    /// configured device.
+    pub fn new(opts: MachineOpts, mode: SecurityMode) -> Self {
+        assert_eq!(opts.general_bytes % PAGE_BYTES as u64, 0);
+        assert_eq!(opts.pmem_bytes % PAGE_BYTES as u64, 0);
+        let data_bytes = opts.general_bytes + opts.pmem_bytes;
+        let layout = MetadataLayout::new(data_bytes, opts.ott_spill_bytes);
+        let nvm = fsencr_nvm::NvmDevice::new(opts.config.nvm);
+        let mem_key = Key128::from_seed(opts.seed ^ 0x4d45_4d4b_4559);
+        let ott_key = Key128::from_seed(opts.seed ^ 0x4f54_544b_4559);
+        let ctrl_mode = if mode == SecurityMode::Unencrypted {
+            CtrlMode::Unencrypted
+        } else {
+            CtrlMode::Encrypted
+        };
+        let ctrl = MemoryController::new(
+            ctrl_mode,
+            layout,
+            &opts.config.security,
+            mem_key,
+            ott_key,
+            nvm,
+        );
+        assert!(
+            opts.pmem_bytes / PAGE_BYTES as u64 > FS_META_PAGES,
+            "DAX region too small for the filesystem metadata area"
+        );
+        let fs = DaxFs::format(
+            opts.general_bytes / PAGE_BYTES as u64 + FS_META_PAGES,
+            opts.pmem_bytes / PAGE_BYTES as u64 - FS_META_PAGES,
+            opts.seed,
+        );
+        let cores = opts.config.cpu.cores;
+        Machine {
+            mode,
+            opts,
+            hier: Hierarchy::new(&opts.config.cpu),
+            ctrl,
+            fs,
+            pt: PageTable::new(),
+            mappings: HashMap::new(),
+            next_map: 1,
+            clocks: vec![Cycle::ZERO; cores],
+            heap_next: PAGE_BYTES as u64,
+            page_cache: PageCacheModel::new(opts.softencr.page_cache_pages),
+            soft_cfg: opts.softencr,
+            pc_frames: HashMap::new(),
+            pc_free: Vec::new(),
+            sw_valid: std::collections::HashSet::new(),
+            sw_schedules: HashMap::new(),
+            mem_key,
+            journal_cursor: 0,
+            tlbs: (0..cores).map(|_| Tlb::new(TLB_ENTRIES)).collect(),
+            tracer: Tracer::new(),
+            measure_start: Cycle::ZERO,
+        }
+    }
+
+    /// Enables event tracing with a bounded buffer (see
+    /// [`crate::trace::Tracer`]).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tracer.enable(capacity);
+    }
+
+    /// The recorded trace events, oldest first.
+    pub fn trace(&self) -> Vec<crate::trace::TraceEvent> {
+        self.tracer.events().copied().collect()
+    }
+
+    /// The machine's security mode.
+    pub fn mode(&self) -> SecurityMode {
+        self.mode
+    }
+
+    /// Construction options.
+    pub fn opts(&self) -> &MachineOpts {
+        &self.opts
+    }
+
+    /// The memory controller (statistics, attacker-model inspection).
+    pub fn controller(&self) -> &MemoryController {
+        &self.ctrl
+    }
+
+    /// Mutable controller access (crash injection, boot-auth lockout).
+    pub fn controller_mut(&mut self) -> &mut MemoryController {
+        &mut self.ctrl
+    }
+
+    /// The filesystem model.
+    pub fn fs(&self) -> &DaxFs {
+        &self.fs
+    }
+
+    /// The memory encryption key — exposed for the "memory key revealed"
+    /// attacker experiments of Section VI / Table I.
+    pub fn mem_key(&self) -> Key128 {
+        self.mem_key
+    }
+
+    // ------------------------------------------------------------------
+    // Time.
+    // ------------------------------------------------------------------
+
+    /// Current local time of `core`.
+    pub fn now(&self, core: usize) -> Cycle {
+        self.clocks[core]
+    }
+
+    /// The machine-wide clock (max over cores).
+    pub fn elapsed(&self) -> Cycle {
+        self.clocks.iter().copied().max().unwrap_or(Cycle::ZERO)
+    }
+
+    /// Charges pure compute time to a core.
+    pub fn advance(&mut self, core: usize, cycles: u64) {
+        self.clocks[core] += cycles;
+    }
+
+    /// Barrier: aligns every core to the latest clock.
+    pub fn sync_cores(&mut self) {
+        let max = self.elapsed();
+        for c in &mut self.clocks {
+            *c = max;
+        }
+    }
+
+    /// Starts a measurement window: resets controller/device/metadata/OTT
+    /// counters and remembers the current time.
+    pub fn begin_measurement(&mut self) {
+        self.sync_cores();
+        self.ctrl.reset_stats();
+        for tlb in &mut self.tlbs {
+            tlb.reset_stats();
+        }
+        self.measure_start = self.elapsed();
+    }
+
+    /// Snapshot of the current measurement window.
+    pub fn measurement(&self) -> RunStats {
+        let ott = self.ctrl.ott_stats();
+        let lat = self.ctrl.stats().read_latency;
+        RunStats {
+            cycles: self.elapsed().since(self.measure_start).get(),
+            nvm_reads: self.ctrl.nvm().stats().reads.get(),
+            nvm_writes: self.ctrl.nvm().stats().writes.get(),
+            meta_hit_rate: self.ctrl.meta_hit_rate(),
+            ott_hits: ott.hits.get(),
+            ott_misses: ott.misses.get(),
+            file_accesses: self.ctrl.stats().file_accesses.get(),
+            tlb_hit_rate: {
+                let (h, m) = self.tlbs.iter().fold((0u64, 0u64), |(h, m), t| {
+                    (h + t.stats().hits.get(), m + t.stats().misses.get())
+                });
+                fsencr_sim::stats::hit_rate(h, m)
+            },
+            read_p50: lat.percentile(0.5),
+            read_p99: lat.percentile(0.99),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Filesystem operations (kernel + MMIO protocol).
+    // ------------------------------------------------------------------
+
+    /// Logs a user in (derives their session KEK).
+    pub fn login(&mut self, user: UserId, passphrase: &str) {
+        self.fs.login(user, passphrase);
+    }
+
+    /// Creates a file; for encrypted files in FsEncr mode the FEK is
+    /// installed in the controller's OTT via MMIO.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem or spill-region failures.
+    pub fn create(
+        &mut self,
+        user: UserId,
+        group: GroupId,
+        name: &str,
+        mode: Mode,
+        passphrase: Option<&str>,
+    ) -> Result<FileHandle, MachineError> {
+        let handle = self.fs.create(user, group, name, mode, passphrase)?;
+        self.journal_op(0, 1)?;
+        self.install_handle_key(&handle)?;
+        Ok(handle)
+    }
+
+    /// Opens a file; re-installs the key in case the OTT lost it across a
+    /// reboot.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem (permission/passphrase) or spill-region failures.
+    pub fn open(
+        &mut self,
+        user: UserId,
+        groups: &[GroupId],
+        name: &str,
+        access: AccessKind,
+        passphrase: Option<&str>,
+    ) -> Result<FileHandle, MachineError> {
+        let handle = self.fs.open(user, groups, name, access, passphrase)?;
+        self.install_handle_key(&handle)?;
+        Ok(handle)
+    }
+
+    fn install_handle_key(&mut self, handle: &FileHandle) -> Result<(), MachineError> {
+        if self.mode == SecurityMode::FsEncr {
+            if let Some(fek) = handle.fek {
+                let at = self.clocks[0];
+                self.tracer.record(
+                    at,
+                    TraceKind::KeyInstall {
+                        gid: handle.group.get(),
+                        fid: handle.ino.get(),
+                    },
+                );
+                self.clocks[0] += MMIO_CYCLES;
+                let done =
+                    self.ctrl
+                        .install_key(self.clocks[0], handle.group.get(), handle.ino.get(), fek)?;
+                self.clocks[0] = done;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deletes a file: shreds its pages, removes its key from the OTT and
+    /// spill region, and unmaps any PTEs.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem or metadata failures.
+    pub fn unlink(&mut self, user: UserId, name: &str) -> Result<(), MachineError> {
+        let un = self.fs.unlink(user, name)?;
+        self.journal_op(0, 2)?;
+        self.page_cache.flush_file(un.ino); // deleted: no write-back
+        self.pc_reclaim(un.ino);
+        self.clocks[0] += MMIO_CYCLES;
+        let mut t = self.clocks[0];
+        for frame in &un.freed {
+            for line in frame.lines() {
+                self.hier.clflush(line); // discard: content is being shredded
+            }
+            if self.mode != SecurityMode::Unencrypted {
+                self.tracer.record(t, TraceKind::Shred { frame: frame.get() });
+                t = self.ctrl.shred_page(t, *frame)?;
+            }
+            self.ctrl.clear_file_page(*frame);
+            self.pt.unmap_frame(*frame);
+        }
+        // TLB shootdown: stale translations to freed frames must die.
+        for tlb in &mut self.tlbs {
+            tlb.flush();
+        }
+        if un.was_encrypted && self.mode == SecurityMode::FsEncr {
+            self.tracer.record(
+                t,
+                TraceKind::KeyRemove {
+                    gid: un.group.get(),
+                    fid: un.ino.get(),
+                },
+            );
+            t = self.ctrl.remove_key(t, un.group.get(), un.ino.get())?;
+        }
+        self.clocks[0] = t;
+        // Mappings pointing at the file become invalid.
+        self.mappings.retain(|_, m| m.ino != un.ino);
+        Ok(())
+    }
+
+    /// Renames a file.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn rename(&mut self, user: UserId, from: &str, to: &str) -> Result<(), MachineError> {
+        self.fs.rename(user, from, to)?;
+        self.journal_op(0, 3)
+    }
+
+    /// `chmod` passthrough.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn chmod(&mut self, user: UserId, name: &str, mode: Mode) -> Result<(), MachineError> {
+        self.fs.chmod(user, name, mode)?;
+        self.journal_op(0, 4)
+    }
+
+    /// `chown` passthrough (root only).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn chown(
+        &mut self,
+        user: UserId,
+        name: &str,
+        owner: UserId,
+        group: GroupId,
+    ) -> Result<(), MachineError> {
+        Ok(self.fs.chown(user, name, owner, group)?)
+    }
+
+    /// Rotates a file's key (Section VI): in FsEncr mode every allocated
+    /// page is re-encrypted under the new FEK (the eager variant of the
+    /// paper's scheme), then the new key replaces the old in the OTT.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures, or [`MachineError::Unsupported`] in software
+    /// mode.
+    pub fn rekey(
+        &mut self,
+        user: UserId,
+        name: &str,
+        old_passphrase: &str,
+        new_passphrase: &str,
+    ) -> Result<(), MachineError> {
+        if self.mode == SecurityMode::Software {
+            return Err(MachineError::Unsupported("rekey under software encryption"));
+        }
+        let inode = self.fs.stat(name).ok_or(FsError::NotFound)?;
+        let ino = inode.ino();
+        let group = inode.group();
+        let frames: Vec<PageId> = inode.mapped_pages().collect();
+        let (_old, new_fek) = self.fs.rekey(user, name, old_passphrase, new_passphrase)?;
+
+        if self.mode == SecurityMode::FsEncr {
+            // Flush dirty plaintext so the reads below see current data,
+            // then read *everything* under the old key before switching —
+            // the key swap is global per (gid, fid).
+            self.flush_hierarchy()?;
+            let mut t = self.elapsed();
+            let mut pages_plain: Vec<(PageId, Vec<[u8; LINE_BYTES]>)> = Vec::new();
+            for frame in frames {
+                let mut page_plain = Vec::with_capacity(64);
+                for line in frame.lines() {
+                    let (plain, done) = self.ctrl.read_line(t, PhysAddr::new(line.get()))?;
+                    t = done;
+                    page_plain.push(plain);
+                }
+                pages_plain.push((frame, page_plain));
+            }
+            t += MMIO_CYCLES;
+            t = self.ctrl.install_key(t, group.get(), ino.get(), new_fek)?;
+            for (frame, page_plain) in pages_plain {
+                for (line, plain) in frame.lines().zip(page_plain) {
+                    t = self.ctrl.write_line(t, PhysAddr::new(line.get()), &plain)?;
+                }
+            }
+            self.clocks[0] = self.clocks[0].max(t);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Mapping and data path.
+    // ------------------------------------------------------------------
+
+    /// Maps a file into the (single, shared) address space.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; kept fallible for future quota
+    /// enforcement.
+    pub fn mmap(&mut self, handle: &FileHandle) -> Result<MapId, MachineError> {
+        let id = self.next_map;
+        self.next_map += 1;
+        let base = MAP_BASE + id as u64 * MAP_STRIDE;
+        self.mappings.insert(
+            id,
+            Mapping {
+                ino: handle.ino,
+                fek: handle.fek,
+                base,
+                bytes: MAP_STRIDE,
+                writable: handle.writable,
+            },
+        );
+        Ok(MapId(id))
+    }
+
+    /// Unmaps a region. In software mode, dirty page-cache pages are
+    /// written back first (close semantics).
+    ///
+    /// # Errors
+    ///
+    /// Write-back failures in software mode.
+    pub fn munmap(&mut self, core: usize, map: MapId) -> Result<(), MachineError> {
+        if let Some(m) = self.mappings.get(&map.0).copied() {
+            if self.mode == SecurityMode::Software {
+                let dirty = self.page_cache.flush_file(m.ino);
+                for (page, is_dirty) in dirty {
+                    if is_dirty {
+                        self.sw_writeback_page(core, &m, page)?;
+                    }
+                }
+                self.pc_reclaim(m.ino);
+            }
+        }
+        self.mappings.remove(&map.0);
+        for tlb in &mut self.tlbs {
+            tlb.flush();
+        }
+        Ok(())
+    }
+
+    fn mapping(&self, map: MapId) -> Result<Mapping, MachineError> {
+        self.mappings
+            .get(&map.0)
+            .copied()
+            .ok_or(MachineError::OutOfBounds)
+    }
+
+    /// Resolves the physical frame backing `page_idx` of a mapping,
+    /// faulting it in (allocation + FECB stamp + PTE install) on first
+    /// touch.
+    fn resolve_page(
+        &mut self,
+        core: usize,
+        m: &Mapping,
+        page_idx: usize,
+    ) -> Result<PageId, MachineError> {
+        let vpn = m.base / PAGE_BYTES as u64 + page_idx as u64;
+        // MMU: TLB hit is free (folded into the access); a miss walks the
+        // page table before either succeeding or faulting.
+        if let Some(pte) = self.tlbs[core].lookup(vpn) {
+            return Ok(pte.frame);
+        }
+        self.advance(core, PAGE_WALK_CYCLES);
+        if let Some(pte) = self.pt.pte(vpn) {
+            self.tlbs[core].insert(vpn, pte);
+            return Ok(pte.frame);
+        }
+        // Page fault.
+        self.clocks[core] += FAULT_CYCLES;
+        let pf = self.fs.ensure_page(m.ino, page_idx)?;
+        let df = pf.df && self.mode == SecurityMode::FsEncr;
+        if df {
+            let done = self.ctrl.stamp_file_page(
+                self.clocks[core],
+                pf.frame,
+                pf.group.get(),
+                pf.ino.get(),
+            )?;
+            self.clocks[core] = done;
+        }
+        self.pt.map(vpn, Pte { frame: pf.frame, df });
+        self.tlbs[core].insert(vpn, Pte { frame: pf.frame, df });
+        let at = self.clocks[core];
+        self.tracer.record(
+            at,
+            TraceKind::PageFault {
+                frame: pf.frame.get(),
+                gid: pf.group.get(),
+                fid: pf.ino.get(),
+            },
+        );
+        if pf.newly_allocated {
+            self.journal_op(core, 6)?;
+            // The kernel zeroes freshly allocated file blocks *durably*
+            // before exposing them (DAX block zeroing uses non-temporal
+            // stores + flush): this establishes valid ciphertext for the
+            // zero content that survives an immediate crash.
+            let now = self.clocks[core];
+            for line in pf.frame.lines() {
+                self.ctrl
+                    .write_line(now, PhysAddr::new(line.get()), &[0u8; LINE_BYTES])?;
+                let wbs = self.hier.fill(core, line, [0u8; LINE_BYTES]);
+                for wb in wbs {
+                    self.ctrl
+                        .write_line(now, PhysAddr::new(wb.addr.get()), &wb.data)?;
+                }
+            }
+        }
+        Ok(pf.frame)
+    }
+
+    /// Loads one line through the hierarchy, fetching from the controller
+    /// on a full miss. Returns the line's plaintext.
+    fn load_line(&mut self, core: usize, line: LineAddr) -> Result<[u8; LINE_BYTES], MemError> {
+        let out = self.hier.load(core, line);
+        self.clocks[core] += out.latency;
+        let now = self.clocks[core];
+        for wb in &out.writebacks {
+            self.ctrl.write_line(now, PhysAddr::new(wb.addr.get()), &wb.data)?;
+        }
+        match out.data {
+            Some(data) => Ok(data),
+            None => {
+                let (data, done) = self.ctrl.read_line(now, PhysAddr::new(line.get()))?;
+                self.clocks[core] = done;
+                let wbs = self.hier.fill(core, line, data);
+                for wb in wbs {
+                    self.ctrl
+                        .write_line(done, PhysAddr::new(wb.addr.get()), &wb.data)?;
+                }
+                Ok(data)
+            }
+        }
+    }
+
+    /// Stores one full line through the hierarchy (write-allocate, no
+    /// fetch). Write-backs are posted.
+    fn store_line(&mut self, core: usize, line: LineAddr, data: [u8; LINE_BYTES]) -> Result<(), MemError> {
+        let (_hit, latency, wbs) = self.hier.store(core, line, data);
+        self.clocks[core] += latency;
+        let now = self.clocks[core];
+        for wb in wbs {
+            self.ctrl.write_line(now, PhysAddr::new(wb.addr.get()), &wb.data)?;
+        }
+        Ok(())
+    }
+
+    /// Byte-granular read within one physical page.
+    fn read_page_bytes(
+        &mut self,
+        core: usize,
+        frame: PageId,
+        offset_in_page: usize,
+        buf: &mut [u8],
+    ) -> Result<(), MemError> {
+        let base = frame.get() * PAGE_BYTES as u64 + offset_in_page as u64;
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let addr = base + pos as u64;
+            let line = LineAddr::new(addr);
+            let in_line = (addr - line.get()) as usize;
+            let take = (LINE_BYTES - in_line).min(buf.len() - pos);
+            let data = self.load_line(core, line)?;
+            buf[pos..pos + take].copy_from_slice(&data[in_line..in_line + take]);
+            pos += take;
+        }
+        Ok(())
+    }
+
+    /// Byte-granular write within one physical page (read-modify-write
+    /// for partial lines, allocate-no-fetch for full lines).
+    fn write_page_bytes(
+        &mut self,
+        core: usize,
+        frame: PageId,
+        offset_in_page: usize,
+        data: &[u8],
+    ) -> Result<(), MemError> {
+        let base = frame.get() * PAGE_BYTES as u64 + offset_in_page as u64;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let addr = base + pos as u64;
+            let line = LineAddr::new(addr);
+            let in_line = (addr - line.get()) as usize;
+            let take = (LINE_BYTES - in_line).min(data.len() - pos);
+            let mut merged = if take == LINE_BYTES {
+                [0u8; LINE_BYTES]
+            } else {
+                self.load_line(core, line)?
+            };
+            merged[in_line..in_line + take].copy_from_slice(&data[pos..pos + take]);
+            self.store_line(core, line, merged)?;
+            pos += take;
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes from a mapped file at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Mapping, filesystem, or memory-path failures.
+    pub fn read(
+        &mut self,
+        core: usize,
+        map: MapId,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<(), MachineError> {
+        let m = self.mapping(map)?;
+        if offset + buf.len() as u64 > m.bytes {
+            return Err(MachineError::OutOfBounds);
+        }
+        if self.mode == SecurityMode::Software && m.fek.is_some() {
+            return self.soft_read(core, &m, offset, buf);
+        }
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let off = offset + pos as u64;
+            let page_idx = (off / PAGE_BYTES as u64) as usize;
+            let in_page = (off % PAGE_BYTES as u64) as usize;
+            let take = (PAGE_BYTES - in_page).min(buf.len() - pos);
+            let frame = self.resolve_page(core, &m, page_idx)?;
+            self.read_page_bytes(core, frame, in_page, &mut buf[pos..pos + take])?;
+            pos += take;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` to a mapped file at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Mapping, filesystem, or memory-path failures.
+    pub fn write(
+        &mut self,
+        core: usize,
+        map: MapId,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), MachineError> {
+        let m = self.mapping(map)?;
+        if !m.writable {
+            return Err(MachineError::Fs(FsError::PermissionDenied));
+        }
+        if offset + data.len() as u64 > m.bytes {
+            return Err(MachineError::OutOfBounds);
+        }
+        if self.mode == SecurityMode::Software && m.fek.is_some() {
+            return self.soft_write(core, &m, offset, data);
+        }
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let off = offset + pos as u64;
+            let page_idx = (off / PAGE_BYTES as u64) as usize;
+            let in_page = (off % PAGE_BYTES as u64) as usize;
+            let take = (PAGE_BYTES - in_page).min(data.len() - pos);
+            let frame = self.resolve_page(core, &m, page_idx)?;
+            self.write_page_bytes(core, frame, in_page, &data[pos..pos + take])?;
+            pos += take;
+        }
+        self.fs.grow(m.ino, offset + data.len() as u64);
+        Ok(())
+    }
+
+    /// Persists a mapped range: `clwb` every covered line, then a fence.
+    /// The core waits for the write completions — this is where
+    /// write-intensive persistent workloads feel the encryption overhead.
+    ///
+    /// # Errors
+    ///
+    /// Mapping or memory-path failures.
+    pub fn persist(
+        &mut self,
+        core: usize,
+        map: MapId,
+        offset: u64,
+        len: u64,
+    ) -> Result<(), MachineError> {
+        let m = self.mapping(map)?;
+        if self.mode == SecurityMode::Software && m.fek.is_some() {
+            // `clwb` on a page-cache mapping flushes the DRAM copy only —
+            // it is NOT durable and triggers no encryption. This is the
+            // broken persistence model the paper warns about; durability
+            // requires an explicit msync ([`Machine::msync`]).
+            let mut off = offset;
+            let end = offset + len;
+            while off < end {
+                let page = (off / PAGE_BYTES as u64) as usize;
+                let in_page = off % PAGE_BYTES as u64;
+                if let Some(&pc_base) = self.pc_frames.get(&(m.ino.get(), page)) {
+                    let line = LineAddr::new(pc_base + (in_page & !(LINE_BYTES as u64 - 1)));
+                    if let Some(wb) = self.hier.clwb(line) {
+                        self.ctrl
+                            .write_line(self.clocks[core], PhysAddr::new(wb.addr.get()), &wb.data)?;
+                    }
+                }
+                off = (off - in_page) + LINE_BYTES as u64 * ((in_page / LINE_BYTES as u64) + 1);
+            }
+            self.clocks[core] += FENCE_CYCLES;
+            return Ok(());
+        }
+        let mut fence_at = self.clocks[core];
+        let mut off = offset;
+        let end = offset + len;
+        while off < end {
+            let page_idx = (off / PAGE_BYTES as u64) as usize;
+            let in_page = off % PAGE_BYTES as u64;
+            let vpn_frame = {
+                let vpn = m.base / PAGE_BYTES as u64 + page_idx as u64;
+                self.pt.pte(vpn).map(|p| p.frame)
+            };
+            if let Some(frame) = vpn_frame {
+                let line = LineAddr::new(frame.get() * PAGE_BYTES as u64 + in_page);
+                if let Some(wb) = self.hier.clwb(line) {
+                    let done = self
+                        .ctrl
+                        .write_line(self.clocks[core], PhysAddr::new(wb.addr.get()), &wb.data)?;
+                    fence_at = fence_at.max(done);
+                }
+            }
+            off = (off - in_page) + LINE_BYTES as u64 * ((in_page / LINE_BYTES as u64) + 1);
+        }
+        self.clocks[core] = fence_at + FENCE_CYCLES;
+        Ok(())
+    }
+
+    /// Durable sync (`msync`/`fsync`): in software mode this is where the
+    /// stacked filesystem encrypts dirty pages and writes them back; in
+    /// DAX modes it is equivalent to [`Machine::persist`].
+    ///
+    /// # Errors
+    ///
+    /// Mapping or memory-path failures.
+    pub fn msync(&mut self, core: usize, map: MapId, offset: u64, len: u64) -> Result<(), MachineError> {
+        let m = self.mapping(map)?;
+        if self.mode == SecurityMode::Software && m.fek.is_some() {
+            return self.soft_fsync(core, &m);
+        }
+        self.persist(core, map, offset, len)
+    }
+
+    /// Charges the cost of one file-API system call *if* the machine runs
+    /// software encryption — syscall-driven applications (e.g. YCSB's
+    /// storage engine) traverse the kernel and the stacked eCryptfs layer
+    /// per operation, while under DAX they use direct loads/stores.
+    pub fn syscall_overhead(&mut self, core: usize) {
+        if self.mode == SecurityMode::Software {
+            self.advance(core, self.soft_cfg.syscall_cycles);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Heap (general, non-file memory).
+    // ------------------------------------------------------------------
+
+    /// Allocates `bytes` of general memory, returning its physical base.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the general region is exhausted.
+    pub fn heap_alloc(&mut self, bytes: u64) -> u64 {
+        let aligned = bytes.div_ceil(LINE_BYTES as u64) * LINE_BYTES as u64;
+        let addr = self.heap_next;
+        self.heap_next += aligned;
+        assert!(
+            self.heap_next <= self.opts.general_bytes,
+            "general memory exhausted"
+        );
+        addr
+    }
+
+    /// Reads from general memory.
+    ///
+    /// # Errors
+    ///
+    /// Memory-path failures.
+    pub fn heap_read(&mut self, core: usize, addr: u64, buf: &mut [u8]) -> Result<(), MachineError> {
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let a = addr + pos as u64;
+            let line = LineAddr::new(a);
+            let in_line = (a - line.get()) as usize;
+            let take = (LINE_BYTES - in_line).min(buf.len() - pos);
+            let data = self.load_line(core, line)?;
+            buf[pos..pos + take].copy_from_slice(&data[in_line..in_line + take]);
+            pos += take;
+        }
+        Ok(())
+    }
+
+    /// Writes to general memory.
+    ///
+    /// # Errors
+    ///
+    /// Memory-path failures.
+    pub fn heap_write(&mut self, core: usize, addr: u64, data: &[u8]) -> Result<(), MachineError> {
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let a = addr + pos as u64;
+            let line = LineAddr::new(a);
+            let in_line = (a - line.get()) as usize;
+            let take = (LINE_BYTES - in_line).min(data.len() - pos);
+            let mut merged = if take == LINE_BYTES {
+                [0u8; LINE_BYTES]
+            } else {
+                self.load_line(core, line)?
+            };
+            merged[in_line..in_line + take].copy_from_slice(&data[pos..pos + take]);
+            self.store_line(core, line, merged)?;
+            pos += take;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Software-encryption (eCryptfs) path.
+    // ------------------------------------------------------------------
+
+    fn sw_pad(&mut self, fek: Key128, frame: PageId, block: u8) -> [u8; LINE_BYTES] {
+        let aes = self
+            .sw_schedules
+            .entry(fek)
+            .or_insert_with(|| Aes128::new(&fek));
+        ctr::line_pad_with(
+            aes,
+            &PadInput {
+                page_id: frame.get(),
+                block_in_page: block,
+                major: 0,
+                minor: 0,
+                domain: PadDomain::File,
+            },
+        )
+    }
+
+    fn pc_frame_for(&mut self, ino: Ino, page: usize) -> u64 {
+        if let Some(&f) = self.pc_frames.get(&(ino.get(), page)) {
+            return f;
+        }
+        let f = self
+            .pc_free
+            .pop()
+            .unwrap_or_else(|| self.heap_alloc(PAGE_BYTES as u64));
+        self.pc_frames.insert((ino.get(), page), f);
+        f
+    }
+
+    fn pc_release(&mut self, ino: Ino, page: usize) {
+        if let Some(f) = self.pc_frames.remove(&(ino.get(), page)) {
+            self.pc_free.push(f);
+        }
+    }
+
+    fn pc_reclaim(&mut self, ino: Ino) {
+        let pages: Vec<usize> = self
+            .pc_frames
+            .keys()
+            .filter(|(i, _)| *i == ino.get())
+            .map(|(_, p)| *p)
+            .collect();
+        for p in pages {
+            self.pc_release(ino, p);
+        }
+    }
+
+    /// Copies a file page into the page cache, decrypting in software.
+    fn sw_fill_page(&mut self, core: usize, m: &Mapping, page: usize) -> Result<(), MachineError> {
+        let fek = m.fek.expect("software path requires an encrypted file");
+        let frame = self.resolve_page(core, m, page)?;
+        let pc_base = self.pc_frame_for(m.ino, page);
+        self.advance(core, self.soft_cfg.fill_overhead_cycles);
+        if !self.sw_valid.contains(&(m.ino.get(), page)) {
+            // Hole / fresh block: reads as zeroes without touching media.
+            for blk in 0..(PAGE_BYTES / LINE_BYTES) as u64 {
+                self.store_line(core, LineAddr::new(pc_base + blk * LINE_BYTES as u64), [0u8; LINE_BYTES])?;
+            }
+            return Ok(());
+        }
+        // The copy itself streams at memcpy speed: the functional loads
+        // and stores below move the bytes (and count as NVM traffic), but
+        // the core-visible time is the streaming-copy constant plus the
+        // software decryption, not 64 serialized miss latencies.
+        let t0 = self.clocks[core];
+        for blk in 0..(PAGE_BYTES / LINE_BYTES) as u64 {
+            let file_line = LineAddr::new(frame.get() * PAGE_BYTES as u64 + blk * LINE_BYTES as u64);
+            let cipher = self.load_line(core, file_line)?;
+            let pad = self.sw_pad(fek, frame, blk as u8);
+            let mut plain = cipher;
+            ctr::xor_in_place(&mut plain, &pad);
+            self.store_line(core, LineAddr::new(pc_base + blk * LINE_BYTES as u64), plain)?;
+        }
+        self.clocks[core] = t0 + PAGE_COPY_CYCLES;
+        self.advance(core, self.soft_cfg.page_crypt_cycles());
+        Ok(())
+    }
+
+    /// Copies a page-cache page back to the file, encrypting in software.
+    fn sw_writeback_page(&mut self, core: usize, m: &Mapping, page: usize) -> Result<(), MachineError> {
+        let fek = m.fek.expect("software path requires an encrypted file");
+        let frame = self.resolve_page(core, m, page)?;
+        let Some(&pc_base) = self.pc_frames.get(&(m.ino.get(), page)) else {
+            return Ok(()); // never filled: nothing to write back
+        };
+        let t0 = self.clocks[core];
+        for blk in 0..(PAGE_BYTES / LINE_BYTES) as u64 {
+            let plain = self.load_line(core, LineAddr::new(pc_base + blk * LINE_BYTES as u64))?;
+            let pad = self.sw_pad(fek, frame, blk as u8);
+            let mut cipher = plain;
+            ctr::xor_in_place(&mut cipher, &pad);
+            let file_line = LineAddr::new(frame.get() * PAGE_BYTES as u64 + blk * LINE_BYTES as u64);
+            self.store_line(core, file_line, cipher)?;
+            // Write the file line back (eCryptfs write-back). The write is
+            // *posted*: fsync waits until the stores reach the persistence
+            // domain (the controller), not until the PCM array commits.
+            if let Some(wb) = self.hier.clwb(file_line) {
+                self.ctrl
+                    .write_line(self.clocks[core], PhysAddr::new(wb.addr.get()), &wb.data)?;
+            }
+        }
+        self.clocks[core] = t0 + PAGE_COPY_CYCLES;
+        self.advance(core, self.soft_cfg.page_crypt_cycles());
+        self.sw_valid.insert((m.ino.get(), page));
+        Ok(())
+    }
+
+    fn sw_touch(&mut self, core: usize, m: &Mapping, page: usize, write: bool) -> Result<u64, MachineError> {
+        let outcome = self.page_cache.touch(m.ino, page, write);
+        if let Some((v_ino, v_page, dirty)) = outcome.evicted {
+            if dirty {
+                // The victim belongs to some open mapping of v_ino.
+                if let Some(vm) = self.mappings.values().copied().find(|mm| mm.ino == v_ino) {
+                    self.sw_writeback_page(core, &vm, v_page)?;
+                }
+            }
+            self.pc_release(v_ino, v_page);
+        }
+        if outcome.fill {
+            self.sw_fill_page(core, m, page)?;
+        }
+        Ok(self.pc_frame_for(m.ino, page))
+    }
+
+    fn soft_read(
+        &mut self,
+        core: usize,
+        m: &Mapping,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<(), MachineError> {
+        // mmap semantics: cached pages are accessed directly; only faults
+        // (fills) and msync pay the software stack.
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let off = offset + pos as u64;
+            let page = (off / PAGE_BYTES as u64) as usize;
+            let in_page = (off % PAGE_BYTES as u64) as usize;
+            let take = (PAGE_BYTES - in_page).min(buf.len() - pos);
+            let pc_base = self.sw_touch(core, m, page, false)?;
+            let mut tmp = vec![0u8; take];
+            self.heap_read(core, pc_base + in_page as u64, &mut tmp)?;
+            buf[pos..pos + take].copy_from_slice(&tmp);
+            pos += take;
+        }
+        Ok(())
+    }
+
+    fn soft_write(
+        &mut self,
+        core: usize,
+        m: &Mapping,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), MachineError> {
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let off = offset + pos as u64;
+            let page = (off / PAGE_BYTES as u64) as usize;
+            let in_page = (off % PAGE_BYTES as u64) as usize;
+            let take = (PAGE_BYTES - in_page).min(data.len() - pos);
+            let pc_base = self.sw_touch(core, m, page, true)?;
+            self.heap_write(core, pc_base + in_page as u64, &data[pos..pos + take])?;
+            pos += take;
+        }
+        self.fs.grow(m.ino, offset + data.len() as u64);
+        Ok(())
+    }
+
+    fn soft_fsync(&mut self, core: usize, m: &Mapping) -> Result<(), MachineError> {
+        self.advance(core, self.soft_cfg.syscall_cycles);
+        let dirty = self.page_cache.clean_file(m.ino);
+        for page in dirty {
+            self.sw_writeback_page(core, m, page)?;
+        }
+        self.clocks[core] += FENCE_CYCLES;
+        Ok(())
+    }
+
+    fn fs_meta_base(&self) -> u64 {
+        self.opts.general_bytes
+    }
+
+    /// Writes one journal record for a metadata-mutating operation —
+    /// ext4-DAX journals metadata synchronously, so every create/unlink/
+    /// chmod/rename/extent-allocation pays a small durable write.
+    fn journal_op(&mut self, core: usize, op: u8) -> Result<(), MachineError> {
+        self.advance(core, JOURNAL_CYCLES);
+        let ring_base = self.fs_meta_base() + FS_IMAGE_PAGES * PAGE_BYTES as u64;
+        let ring_lines = (FS_META_PAGES - FS_IMAGE_PAGES) * (PAGE_BYTES / LINE_BYTES) as u64;
+        let line = LineAddr::new(ring_base + (self.journal_cursor % ring_lines) * LINE_BYTES as u64);
+        self.journal_cursor += 1;
+        let at = self.elapsed();
+        self.tracer.record(at, TraceKind::Journal { op });
+        let mut record = [0u8; LINE_BYTES];
+        record[0] = op;
+        record[1..9].copy_from_slice(&self.journal_cursor.to_le_bytes());
+        record[9..17].copy_from_slice(&self.elapsed().get().to_le_bytes());
+        self.store_line(core, line, record)?;
+        if let Some(wb) = self.hier.clwb(line) {
+            let done = self
+                .ctrl
+                .write_line(self.clocks[core], PhysAddr::new(wb.addr.get()), &wb.data)?;
+            self.clocks[core] = self.clocks[core].max(done) + FENCE_CYCLES;
+        }
+        Ok(())
+    }
+
+    /// Writes the serialized filesystem metadata into its reserved
+    /// on-media area (the `umount`-time full image; incremental durability
+    /// between syncs comes from the journal).
+    ///
+    /// # Errors
+    ///
+    /// Memory-path failures; panics if the image outgrows the reserved
+    /// area.
+    pub fn sync_fs(&mut self, core: usize) -> Result<(), MachineError> {
+        let image = self.fs.serialize();
+        let capacity = (FS_IMAGE_PAGES * PAGE_BYTES as u64 - 64) as usize;
+        assert!(
+            image.len() <= capacity,
+            "filesystem image ({} B) exceeds the reserved area ({capacity} B)",
+            image.len()
+        );
+        let base = self.fs_meta_base();
+        self.heap_write(core, base, &(image.len() as u64).to_le_bytes())?;
+        self.heap_write(core, base + 64, &image)?;
+        // Persist the whole image range.
+        let mut off = 0u64;
+        let end = 64 + image.len() as u64;
+        let mut fence_at = self.clocks[core];
+        while off < end {
+            let line = LineAddr::new(base + off);
+            if let Some(wb) = self.hier.clwb(line) {
+                let done = self
+                    .ctrl
+                    .write_line(self.clocks[core], PhysAddr::new(wb.addr.get()), &wb.data)?;
+                fence_at = fence_at.max(done);
+            }
+            off += LINE_BYTES as u64;
+        }
+        self.clocks[core] = fence_at + FENCE_CYCLES;
+        Ok(())
+    }
+
+    /// Mounts the filesystem from its on-media image, replacing the
+    /// in-memory state (used after module transfer, and usable after a
+    /// crash to prove the image is self-contained).
+    ///
+    /// # Errors
+    ///
+    /// Memory-path failures or a corrupt image.
+    pub fn mount_fs(&mut self, core: usize) -> Result<(), MachineError> {
+        let base = self.fs_meta_base();
+        let mut len_bytes = [0u8; 8];
+        self.heap_read(core, base, &mut len_bytes)?;
+        let len = u64::from_le_bytes(len_bytes) as usize;
+        let capacity = (FS_IMAGE_PAGES * PAGE_BYTES as u64 - 64) as usize;
+        if len == 0 || len > capacity {
+            return Err(MachineError::Fs(FsError::InvalidArgument(
+                "no filesystem image on media",
+            )));
+        }
+        let mut image = vec![0u8; len];
+        self.heap_read(core, base + 64, &mut image)?;
+        self.fs = DaxFs::deserialize(&image)?;
+        Ok(())
+    }
+
+    /// Copies `src` into a new encrypted file `dst` *through the
+    /// processor* (Section VI, "Copying or Moving Files Within Same
+    /// Device"): every line is decrypted on the way in and re-encrypted
+    /// under the destination's own key and counters on the way out, so
+    /// spatial uniqueness of the IVs is preserved and no pad is ever
+    /// reused.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem or memory-path failures.
+    pub fn copy_file(
+        &mut self,
+        core: usize,
+        user: UserId,
+        groups: &[GroupId],
+        src: &str,
+        dst: &str,
+        src_passphrase: Option<&str>,
+        dst_passphrase: Option<&str>,
+    ) -> Result<FileHandle, MachineError> {
+        let src_handle = self.open(user, groups, src, AccessKind::Read, src_passphrase)?;
+        let (size, group) = {
+            let inode = self.fs.inode(src_handle.ino).ok_or(FsError::NotFound)?;
+            (inode.size(), inode.group())
+        };
+        let dst_handle = self.create(user, group, dst, Mode::PRIVATE, dst_passphrase)?;
+        let src_map = self.mmap(&src_handle)?;
+        let dst_map = self.mmap(&dst_handle)?;
+        let mut buf = vec![0u8; PAGE_BYTES];
+        let mut off = 0u64;
+        while off < size {
+            let take = (size - off).min(PAGE_BYTES as u64) as usize;
+            self.read(core, src_map, off, &mut buf[..take])?;
+            self.write(core, dst_map, off, &buf[..take])?;
+            self.persist(core, dst_map, off, take as u64)?;
+            off += take as u64;
+        }
+        self.munmap(core, src_map)?;
+        self.munmap(core, dst_map)?;
+        Ok(dst_handle)
+    }
+
+    /// Exports this machine's NVM module for transfer to another machine
+    /// (Section VI): flushes everything, spills the OTT, and splits the
+    /// machine into the physically travelling parts and the secret
+    /// envelope.
+    ///
+    /// # Errors
+    ///
+    /// Flush failures.
+    pub fn export_module(mut self) -> Result<(ModuleEnvelope, TransferredModule), MachineError> {
+        self.shutdown_flush()?;
+        let envelope = self.ctrl.export_module(self.elapsed())?;
+        let (nvm, ecc) = self.ctrl.into_media();
+        Ok((
+            envelope,
+            TransferredModule {
+                nvm,
+                ecc,
+                opts: self.opts,
+            },
+        ))
+    }
+
+    /// Builds a machine around a transferred module on a *new* processor,
+    /// authenticating the media against the envelope's root digest.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Tamper`] (wrapped) if the module was modified in
+    /// transit.
+    pub fn import_module(
+        envelope: &ModuleEnvelope,
+        module: TransferredModule,
+    ) -> Result<Self, MachineError> {
+        let opts = module.opts;
+        let data_bytes = opts.general_bytes + opts.pmem_bytes;
+        let layout = MetadataLayout::new(data_bytes, opts.ott_spill_bytes);
+        let ctrl = MemoryController::import_module(
+            layout,
+            &opts.config.security,
+            envelope,
+            module.nvm,
+            module.ecc,
+        )?;
+        let cores = opts.config.cpu.cores;
+        // Placeholder filesystem; the real state is mounted from the
+        // on-media image below.
+        let placeholder = DaxFs::format(
+            opts.general_bytes / PAGE_BYTES as u64 + FS_META_PAGES,
+            opts.pmem_bytes / PAGE_BYTES as u64 - FS_META_PAGES,
+            opts.seed,
+        );
+        let mut machine = Machine {
+            mode: SecurityMode::FsEncr,
+            opts,
+            hier: Hierarchy::new(&opts.config.cpu),
+            ctrl,
+            fs: placeholder,
+            pt: PageTable::new(),
+            mappings: HashMap::new(),
+            next_map: 1,
+            clocks: vec![Cycle::ZERO; cores],
+            heap_next: PAGE_BYTES as u64,
+            page_cache: PageCacheModel::new(opts.softencr.page_cache_pages),
+            soft_cfg: opts.softencr,
+            pc_frames: HashMap::new(),
+            pc_free: Vec::new(),
+            sw_valid: std::collections::HashSet::new(),
+            sw_schedules: HashMap::new(),
+            mem_key: envelope.mem_key,
+            journal_cursor: 0,
+            tlbs: (0..cores).map(|_| Tlb::new(TLB_ENTRIES)).collect(),
+            tracer: Tracer::new(),
+            measure_start: Cycle::ZERO,
+        };
+        machine.mount_fs(0)?;
+        Ok(machine)
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle: shutdown, crash, recovery.
+    // ------------------------------------------------------------------
+
+    fn flush_hierarchy(&mut self) -> Result<(), MemError> {
+        let dirty = self.hier.flush_all();
+        let mut t = self.elapsed();
+        for wb in dirty {
+            t = self
+                .ctrl
+                .write_line(t, PhysAddr::new(wb.addr.get()), &wb.data)?;
+        }
+        for c in &mut self.clocks {
+            *c = t.max(*c);
+        }
+        Ok(())
+    }
+
+    /// Clean shutdown: flushes caches and metadata.
+    ///
+    /// # Errors
+    ///
+    /// Memory-path failures during the flush.
+    pub fn shutdown_flush(&mut self) -> Result<(), MachineError> {
+        self.sync_fs(0)?;
+        self.flush_hierarchy()?;
+        let t = self.ctrl.flush(self.elapsed());
+        for c in &mut self.clocks {
+            *c = t;
+        }
+        Ok(())
+    }
+
+    /// Power loss: all volatile state (CPU caches, metadata cache, page
+    /// cache) vanishes; page tables and mappings die with the processes.
+    pub fn crash(&mut self) {
+        let at = self.elapsed();
+        self.tracer.record(at, TraceKind::Crash);
+        self.hier.drop_all();
+        self.ctrl.crash();
+        self.pc_frames.clear();
+        self.pc_free.clear();
+        self.page_cache = PageCacheModel::new(self.soft_cfg.page_cache_pages);
+        self.pt = PageTable::new();
+        self.mappings.clear();
+        for tlb in &mut self.tlbs {
+            tlb.flush();
+        }
+    }
+
+    /// Post-crash recovery: Osiris counter repair + Merkle rebuild.
+    pub fn recover(&mut self) -> RecoveryReport {
+        let report = self.ctrl.recover();
+        let at = self.elapsed();
+        self.tracer.record(
+            at,
+            TraceKind::Recover {
+                repaired: report.repaired,
+                unrecoverable: report.unrecoverable,
+            },
+        );
+        report
+    }
+}

@@ -1,0 +1,273 @@
+//! The Open Tunnel Table (Section III-E).
+//!
+//! An on-chip, TLB-like structure mapping (Group ID, File ID) to the file
+//! encryption key. The paper implements it as eight fully-associative
+//! 128-entry sub-tables searched in parallel, with the lookup relaxed to
+//! 20 cycles to save power; capacity is therefore 1024 entries and
+//! replacement is LRU. Evicted entries are handed back to the caller for
+//! spilling into the encrypted OTT memory region.
+
+use fsencr_crypto::Key128;
+use fsencr_sim::{Counter, StatSource};
+
+/// Hit/miss/eviction counters for the OTT.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OttStats {
+    /// Lookups that found the key on-chip.
+    pub hits: Counter,
+    /// Lookups that must fall back to the spill region.
+    pub misses: Counter,
+    /// Entries pushed out to the spill region.
+    pub evictions: Counter,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    gid: u32,
+    fid: u32,
+    key: Key128,
+    stamp: u64,
+}
+
+/// The on-chip key table.
+///
+/// # Examples
+///
+/// ```
+/// use fsencr::OpenTunnelTable;
+/// use fsencr_crypto::Key128;
+///
+/// let mut ott = OpenTunnelTable::new(4, 20);
+/// let key = Key128::from_seed(1);
+/// assert!(ott.insert(1, 2, key).is_none());
+/// assert_eq!(ott.lookup(1, 2), Some(key));
+/// assert_eq!(ott.lookup(9, 9), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpenTunnelTable {
+    entries: Vec<Entry>,
+    capacity: usize,
+    latency_cycles: u64,
+    stamp: u64,
+    stats: OttStats,
+}
+
+impl OpenTunnelTable {
+    /// Creates an OTT with the given entry capacity and lookup latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, latency_cycles: u64) -> Self {
+        assert!(capacity > 0, "OTT needs at least one entry");
+        OpenTunnelTable {
+            entries: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            latency_cycles,
+            stamp: 0,
+            stats: OttStats::default(),
+        }
+    }
+
+    /// Lookup latency in cycles (20 in the paper).
+    pub fn latency_cycles(&self) -> u64 {
+        self.latency_cycles
+    }
+
+    /// Looks up the key for `(gid, fid)`, refreshing LRU on hit.
+    pub fn lookup(&mut self, gid: u32, fid: u32) -> Option<Key128> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        match self
+            .entries
+            .iter_mut()
+            .find(|e| e.gid == gid && e.fid == fid)
+        {
+            Some(e) => {
+                e.stamp = stamp;
+                self.stats.hits.incr();
+                Some(e.key)
+            }
+            None => {
+                self.stats.misses.incr();
+                None
+            }
+        }
+    }
+
+    /// Checks for presence without touching LRU or statistics.
+    pub fn contains(&self, gid: u32, fid: u32) -> bool {
+        self.entries.iter().any(|e| e.gid == gid && e.fid == fid)
+    }
+
+    /// Installs (or refreshes) a key. Returns the LRU victim
+    /// `(gid, fid, key)` if the table was full — the caller must spill it.
+    pub fn insert(&mut self, gid: u32, fid: u32, key: Key128) -> Option<(u32, u32, Key128)> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.gid == gid && e.fid == fid)
+        {
+            e.key = key;
+            e.stamp = stamp;
+            return None;
+        }
+        let mut victim = None;
+        if self.entries.len() >= self.capacity {
+            let (idx, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .expect("table non-empty");
+            let e = self.entries.swap_remove(idx);
+            self.stats.evictions.incr();
+            victim = Some((e.gid, e.fid, e.key));
+        }
+        self.entries.push(Entry {
+            gid,
+            fid,
+            key,
+            stamp,
+        });
+        victim
+    }
+
+    /// Removes the entry for `(gid, fid)` (file deletion), returning its
+    /// key if present.
+    pub fn remove(&mut self, gid: u32, fid: u32) -> Option<Key128> {
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| e.gid == gid && e.fid == fid)?;
+        Some(self.entries.swap_remove(idx).key)
+    }
+
+    /// Drains every entry (moving a DIMM between machines flushes the OTT
+    /// to the spill region first — Section VI).
+    pub fn drain(&mut self) -> Vec<(u32, u32, Key128)> {
+        self.entries
+            .drain(..)
+            .map(|e| (e.gid, e.fid, e.key))
+            .collect()
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Behaviour counters.
+    pub fn stats(&self) -> &OttStats {
+        &self.stats
+    }
+
+    /// Resets the behaviour counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = OttStats::default();
+    }
+}
+
+impl StatSource for OpenTunnelTable {
+    fn stat_rows(&self) -> Vec<(String, u64)> {
+        vec![
+            ("ott.hits".to_string(), self.stats.hits.get()),
+            ("ott.misses".to_string(), self.stats.misses.get()),
+            ("ott.evictions".to_string(), self.stats.evictions.get()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> Key128 {
+        Key128::from_seed(n)
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut ott = OpenTunnelTable::new(8, 20);
+        assert!(ott.is_empty());
+        ott.insert(1, 1, key(1));
+        assert_eq!(ott.lookup(1, 1), Some(key(1)));
+        assert_eq!(ott.remove(1, 1), Some(key(1)));
+        assert_eq!(ott.lookup(1, 1), None);
+        assert_eq!(ott.remove(1, 1), None);
+    }
+
+    #[test]
+    fn reinsert_refreshes_key_without_eviction() {
+        let mut ott = OpenTunnelTable::new(2, 20);
+        ott.insert(1, 1, key(1));
+        assert!(ott.insert(1, 1, key(2)).is_none());
+        assert_eq!(ott.lookup(1, 1), Some(key(2)));
+        assert_eq!(ott.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_spills_coldest() {
+        let mut ott = OpenTunnelTable::new(2, 20);
+        ott.insert(1, 1, key(1));
+        ott.insert(2, 2, key(2));
+        ott.lookup(1, 1); // refresh (1,1): victim should be (2,2)
+        let victim = ott.insert(3, 3, key(3)).expect("eviction");
+        assert_eq!(victim, (2, 2, key(2)));
+        assert!(ott.contains(1, 1));
+        assert!(ott.contains(3, 3));
+        assert_eq!(ott.stats().evictions.get(), 1);
+    }
+
+    #[test]
+    fn same_fid_different_gid_are_distinct() {
+        let mut ott = OpenTunnelTable::new(8, 20);
+        ott.insert(1, 7, key(1));
+        ott.insert(2, 7, key(2));
+        assert_eq!(ott.lookup(1, 7), Some(key(1)));
+        assert_eq!(ott.lookup(2, 7), Some(key(2)));
+    }
+
+    #[test]
+    fn drain_returns_everything() {
+        let mut ott = OpenTunnelTable::new(8, 20);
+        ott.insert(1, 1, key(1));
+        ott.insert(2, 2, key(2));
+        let drained = ott.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(ott.is_empty());
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut ott = OpenTunnelTable::new(8, 20);
+        ott.insert(1, 1, key(1));
+        ott.lookup(1, 1);
+        ott.lookup(9, 9);
+        assert_eq!(ott.stats().hits.get(), 1);
+        assert_eq!(ott.stats().misses.get(), 1);
+        let rows = ott.stat_rows();
+        assert!(rows.iter().any(|(k, v)| k == "ott.hits" && *v == 1));
+        ott.reset_stats();
+        assert_eq!(ott.stats().hits.get(), 0);
+    }
+
+    #[test]
+    fn paper_capacity() {
+        // 8 ways x 128 entries
+        let mut ott = OpenTunnelTable::new(1024, 20);
+        for i in 0..1024u32 {
+            assert!(ott.insert(i % 16, i, key(i as u64)).is_none());
+        }
+        assert_eq!(ott.len(), 1024);
+        assert!(ott.insert(99, 5000, key(0)).is_some(), "1025th spills");
+        assert_eq!(ott.latency_cycles(), 20);
+    }
+}

@@ -1,0 +1,211 @@
+//! A per-core TLB model.
+//!
+//! Figure 5 of the paper shows the MMU translating virtual addresses — with
+//! the DF-bit riding in the PTE — before requests reach the caches. The
+//! TLB caches those translations: hits are free (folded into L1 access),
+//! misses charge a page-table walk. DAX's whole value proposition is that
+//! after the first fault, file accesses are *just* translations + loads,
+//! so the walk cost belongs in the model.
+
+use std::collections::HashMap;
+
+use fsencr_fs::Pte;
+use fsencr_sim::{Counter, StatSource};
+
+/// Cycles charged for a TLB miss (the page-table walk; most walk levels
+/// hit in the data caches).
+pub const PAGE_WALK_CYCLES: u64 = 60;
+
+/// Default entry count (a typical L1 DTLB).
+pub const TLB_ENTRIES: usize = 64;
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TlbStats {
+    /// Translations served from the TLB.
+    pub hits: Counter,
+    /// Translations that walked the page table.
+    pub misses: Counter,
+}
+
+/// A fully-associative, LRU translation lookaside buffer.
+///
+/// # Examples
+///
+/// ```
+/// use fsencr::tlb::Tlb;
+/// use fsencr_fs::Pte;
+/// use fsencr_nvm::PageId;
+///
+/// let mut tlb = Tlb::new(2);
+/// let pte = Pte { frame: PageId::new(7), df: true };
+/// assert_eq!(tlb.lookup(1), None);
+/// tlb.insert(1, pte);
+/// assert_eq!(tlb.lookup(1), Some(pte));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: HashMap<u64, (Pte, u64)>,
+    capacity: usize,
+    stamp: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB needs at least one entry");
+        Tlb {
+            entries: HashMap::with_capacity(capacity),
+            capacity,
+            stamp: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Looks up the translation for `vpn`, refreshing LRU.
+    pub fn lookup(&mut self, vpn: u64) -> Option<Pte> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        match self.entries.get_mut(&vpn) {
+            Some((pte, lru)) => {
+                *lru = stamp;
+                self.stats.hits.incr();
+                Some(*pte)
+            }
+            None => {
+                self.stats.misses.incr();
+                None
+            }
+        }
+    }
+
+    /// Installs a translation, evicting the LRU entry at capacity.
+    pub fn insert(&mut self, vpn: u64, pte: Pte) {
+        self.stamp += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&vpn) {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, lru))| *lru)
+                .map(|(v, _)| *v)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(vpn, (pte, self.stamp));
+    }
+
+    /// Drops a single translation (page unmapped).
+    pub fn invalidate(&mut self, vpn: u64) {
+        self.entries.remove(&vpn);
+    }
+
+    /// Drops everything (TLB shootdown / context switch / crash).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TLB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+
+    /// Resets counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+}
+
+impl StatSource for Tlb {
+    fn stat_rows(&self) -> Vec<(String, u64)> {
+        vec![
+            ("tlb.hits".to_string(), self.stats.hits.get()),
+            ("tlb.misses".to_string(), self.stats.misses.get()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsencr_nvm::PageId;
+
+    fn pte(frame: u64) -> Pte {
+        Pte {
+            frame: PageId::new(frame),
+            df: false,
+        }
+    }
+
+    #[test]
+    fn miss_insert_hit() {
+        let mut tlb = Tlb::new(4);
+        assert_eq!(tlb.lookup(5), None);
+        tlb.insert(5, pte(50));
+        assert_eq!(tlb.lookup(5), Some(pte(50)));
+        assert_eq!(tlb.stats().hits.get(), 1);
+        assert_eq!(tlb.stats().misses.get(), 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut tlb = Tlb::new(2);
+        tlb.insert(1, pte(1));
+        tlb.insert(2, pte(2));
+        tlb.lookup(1); // 2 becomes LRU
+        tlb.insert(3, pte(3));
+        assert_eq!(tlb.len(), 2);
+        assert!(tlb.lookup(1).is_some());
+        assert!(tlb.lookup(2).is_none());
+        assert!(tlb.lookup(3).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut tlb = Tlb::new(2);
+        tlb.insert(1, pte(1));
+        tlb.insert(1, pte(9));
+        assert_eq!(tlb.len(), 1);
+        assert_eq!(tlb.lookup(1), Some(pte(9)));
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut tlb = Tlb::new(4);
+        tlb.insert(1, pte(1));
+        tlb.insert(2, pte(2));
+        tlb.invalidate(1);
+        assert!(tlb.lookup(1).is_none());
+        assert!(tlb.lookup(2).is_some());
+        tlb.flush();
+        assert!(tlb.is_empty());
+    }
+
+    #[test]
+    fn df_bit_travels_with_the_translation() {
+        let mut tlb = Tlb::new(2);
+        tlb.insert(7, Pte { frame: PageId::new(3), df: true });
+        assert!(tlb.lookup(7).unwrap().df);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        Tlb::new(0);
+    }
+}

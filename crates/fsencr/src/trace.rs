@@ -1,0 +1,172 @@
+//! Event tracing for the simulated machine.
+//!
+//! A bounded ring of timestamped events the machine emits when tracing is
+//! enabled: page faults, key installs and removals, shreds, crashes,
+//! recoveries, counter overflows. Zero simulated cost; host cost only when
+//! enabled. Tests use it to assert *sequences* ("the key was installed
+//! before the first file access"), and `fsenctl` users to see what their
+//! commands did under the hood.
+
+use std::collections::VecDeque;
+
+use fsencr_sim::Cycle;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A DAX page fault mapped `frame` for `(gid, fid)`.
+    PageFault {
+        /// Physical frame mapped.
+        frame: u64,
+        /// Owning group.
+        gid: u32,
+        /// Owning file.
+        fid: u32,
+    },
+    /// The kernel installed a file key in the OTT.
+    KeyInstall {
+        /// Group ID.
+        gid: u32,
+        /// File ID.
+        fid: u32,
+    },
+    /// The kernel removed a file key (unlink).
+    KeyRemove {
+        /// Group ID.
+        gid: u32,
+        /// File ID.
+        fid: u32,
+    },
+    /// A page was shredded (secure deletion).
+    Shred {
+        /// Shredded frame.
+        frame: u64,
+    },
+    /// A metadata journal record was written.
+    Journal {
+        /// Operation tag (1=create, 2=unlink, 3=rename, 4=chmod, 5=chown,
+        /// 6=extent-allocation).
+        op: u8,
+    },
+    /// Power loss.
+    Crash,
+    /// Osiris recovery ran.
+    Recover {
+        /// Lines repaired via the ECC oracle.
+        repaired: u64,
+        /// Lines lost.
+        unrecoverable: u64,
+    },
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Machine time when the event fired.
+    pub at: Cycle,
+    /// The event.
+    pub kind: TraceKind,
+}
+
+/// A bounded event ring. Disabled (and free) by default.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+}
+
+impl Tracer {
+    /// Creates a disabled tracer.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Enables tracing with space for `capacity` events (oldest dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable(&mut self, capacity: usize) {
+        assert!(capacity > 0, "trace capacity must be positive");
+        self.capacity = capacity;
+        self.ring.clear();
+    }
+
+    /// Disables tracing and drops the buffer.
+    pub fn disable(&mut self) {
+        self.capacity = 0;
+        self.ring.clear();
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records an event (no-op while disabled).
+    pub fn record(&mut self, at: Cycle, kind: TraceKind) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(TraceEvent { at, kind });
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        let mut t = Tracer::new();
+        assert!(!t.is_enabled());
+        t.record(Cycle::ZERO, TraceKind::Crash);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn records_in_order_and_bounds() {
+        let mut t = Tracer::new();
+        t.enable(3);
+        for i in 0..5u8 {
+            t.record(Cycle::new(i as u64), TraceKind::Journal { op: i });
+        }
+        assert_eq!(t.len(), 3);
+        let ops: Vec<u8> = t
+            .events()
+            .map(|e| match e.kind {
+                TraceKind::Journal { op } => op,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ops, vec![2, 3, 4], "oldest events dropped");
+    }
+
+    #[test]
+    fn disable_clears() {
+        let mut t = Tracer::new();
+        t.enable(4);
+        t.record(Cycle::ZERO, TraceKind::Crash);
+        t.disable();
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+}

@@ -1,0 +1,224 @@
+//! The assembled NVM device: contents plus timing plus statistics.
+
+use fsencr_sim::{config::NvmConfig, Counter, Cycle, StatSource};
+
+use crate::addr::{LineAddr, PhysAddr, LINE_BYTES};
+use crate::storage::Storage;
+use crate::timing::{AccessKind, BankTiming};
+use crate::wear::WearTracker;
+
+/// Access counters reported by the device.
+///
+/// "Number of reads/writes" in Figures 9, 10, 13 and 14 of the paper are
+/// exactly these counters — every 64-byte burst that reaches the DIMM,
+/// whether it carries data, encryption counters, Merkle nodes or spilled
+/// OTT entries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NvmStats {
+    /// 64-byte read bursts served.
+    pub reads: Counter,
+    /// 64-byte write bursts served.
+    pub writes: Counter,
+}
+
+/// A PCM DIMM: sparse contents, bank timing, and access counters.
+///
+/// # Examples
+///
+/// ```
+/// use fsencr_nvm::{NvmDevice, PhysAddr, LINE_BYTES};
+/// use fsencr_sim::{config::NvmConfig, Cycle};
+///
+/// let mut nvm = NvmDevice::new(NvmConfig::default());
+/// let addr = PhysAddr::new(4096);
+/// nvm.write_line(Cycle::ZERO, addr, &[1u8; LINE_BYTES]);
+/// assert_eq!(nvm.stats().writes.get(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NvmDevice {
+    storage: Storage,
+    timing: BankTiming,
+    stats: NvmStats,
+    wear: WearTracker,
+    capacity_bytes: u64,
+}
+
+impl NvmDevice {
+    /// Creates a device with the given configuration.
+    pub fn new(cfg: NvmConfig) -> Self {
+        NvmDevice {
+            storage: Storage::new(),
+            timing: BankTiming::new(cfg),
+            stats: NvmStats::default(),
+            wear: WearTracker::new(),
+            capacity_bytes: cfg.capacity_bytes,
+        }
+    }
+
+    /// Reads one line, returning its contents and the completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is beyond the configured capacity.
+    pub fn read_line(&mut self, now: Cycle, addr: PhysAddr) -> ([u8; LINE_BYTES], Cycle) {
+        let line = self.checked_line(addr);
+        self.stats.reads.incr();
+        let done = self.timing.access(now, line, AccessKind::Read);
+        (self.storage.read_line(line), done)
+    }
+
+    /// Writes one line, returning the completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is beyond the configured capacity.
+    pub fn write_line(&mut self, now: Cycle, addr: PhysAddr, data: &[u8; LINE_BYTES]) -> Cycle {
+        let line = self.checked_line(addr);
+        self.stats.writes.incr();
+        self.wear.record(line);
+        let done = self.timing.access(now, line, AccessKind::Write);
+        self.storage.write_line(line, data);
+        done
+    }
+
+    fn checked_line(&self, addr: PhysAddr) -> LineAddr {
+        let stripped = addr.strip_df().get();
+        assert!(
+            stripped < self.capacity_bytes,
+            "address {stripped:#x} beyond device capacity {:#x}",
+            self.capacity_bytes
+        );
+        addr.line()
+    }
+
+    /// Zero-time peek at the raw media — what a physical attacker sees.
+    /// Does not disturb timing or statistics.
+    pub fn peek_line(&self, addr: PhysAddr) -> [u8; LINE_BYTES] {
+        self.storage.read_line(addr.line())
+    }
+
+    /// Zero-time raw write, used only by test fixtures and the tampering
+    /// attacker model. Does not disturb timing or statistics.
+    pub fn poke_line(&mut self, addr: PhysAddr, data: &[u8; LINE_BYTES]) {
+        self.storage.write_line(addr.line(), data);
+    }
+
+    /// Direct access to the underlying byte store (media-level inspection).
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Mutable access to the byte store, for crash-injection fixtures.
+    pub fn storage_mut(&mut self) -> &mut Storage {
+        &mut self.storage
+    }
+
+    /// Access counters.
+    pub fn stats(&self) -> &NvmStats {
+        &self.stats
+    }
+
+    /// Resets access counters (used between measurement phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = NvmStats::default();
+    }
+
+    /// Row-buffer hits observed by the timing model.
+    pub fn row_hits(&self) -> u64 {
+        self.timing.row_hits()
+    }
+
+    /// Row-buffer misses observed by the timing model.
+    pub fn row_misses(&self) -> u64 {
+        self.timing.row_misses()
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Write-endurance accounting (per-page write counts).
+    pub fn wear(&self) -> &WearTracker {
+        &self.wear
+    }
+}
+
+impl StatSource for NvmDevice {
+    fn stat_rows(&self) -> Vec<(String, u64)> {
+        vec![
+            ("nvm.reads".to_string(), self.stats.reads.get()),
+            ("nvm.writes".to_string(), self.stats.writes.get()),
+            ("nvm.row_hits".to_string(), self.row_hits()),
+            ("nvm.row_misses".to_string(), self.row_misses()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> NvmDevice {
+        NvmDevice::new(NvmConfig::default())
+    }
+
+    #[test]
+    fn read_returns_written_data_and_advances_time() {
+        let mut nvm = device();
+        let addr = PhysAddr::new(64 * 100);
+        let data = [0x5au8; LINE_BYTES];
+        let t1 = nvm.write_line(Cycle::ZERO, addr, &data);
+        assert!(t1 > Cycle::ZERO);
+        let (read, t2) = nvm.read_line(t1, addr);
+        assert_eq!(read, data);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn stats_count_bursts() {
+        let mut nvm = device();
+        let addr = PhysAddr::new(0);
+        nvm.write_line(Cycle::ZERO, addr, &[0u8; LINE_BYTES]);
+        nvm.read_line(Cycle::ZERO, addr);
+        nvm.read_line(Cycle::ZERO, addr);
+        assert_eq!(nvm.stats().writes.get(), 1);
+        assert_eq!(nvm.stats().reads.get(), 2);
+        nvm.reset_stats();
+        assert_eq!(nvm.stats().reads.get(), 0);
+    }
+
+    #[test]
+    fn peek_and_poke_bypass_timing() {
+        let mut nvm = device();
+        let addr = PhysAddr::new(4096);
+        nvm.poke_line(addr, &[9u8; LINE_BYTES]);
+        assert_eq!(nvm.peek_line(addr), [9u8; LINE_BYTES]);
+        assert_eq!(nvm.stats().reads.get(), 0);
+        assert_eq!(nvm.stats().writes.get(), 0);
+    }
+
+    #[test]
+    fn df_bit_stripped_before_media() {
+        let mut nvm = device();
+        let plain = PhysAddr::new(8192);
+        nvm.write_line(Cycle::ZERO, plain.with_df(), &[3u8; LINE_BYTES]);
+        assert_eq!(nvm.peek_line(plain), [3u8; LINE_BYTES]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond device capacity")]
+    fn capacity_is_enforced() {
+        let mut nvm = device();
+        nvm.read_line(Cycle::ZERO, PhysAddr::new(17 << 30));
+    }
+
+    #[test]
+    fn stat_rows_exposes_counters() {
+        let mut nvm = device();
+        nvm.read_line(Cycle::ZERO, PhysAddr::new(0));
+        let rows = nvm.stat_rows();
+        assert!(rows.iter().any(|(k, v)| k == "nvm.reads" && *v == 1));
+        assert!(rows.iter().any(|(k, _)| k == "nvm.row_misses"));
+    }
+}

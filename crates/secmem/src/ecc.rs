@@ -1,0 +1,140 @@
+//! Osiris ECC emulation.
+//!
+//! Osiris (MICRO'18) observes that the ECC bits stored with every data line
+//! can double as a counter-recovery oracle: decrypt the line with a
+//! candidate counter, check the ECC, and the counter that yields a clean
+//! check is the one that encrypted the line. Real hardware gets this for
+//! free from the DIMM's ECC lanes; the simulator emulates the lanes with a
+//! side store holding an 8-byte truncated SHA-256 tag of each line's
+//! *plaintext*. The tag is written atomically with the data line (it
+//! physically rides in the same burst) and is **not** addressable memory —
+//! an attacker scanning the DIMM address space never sees it, and it leaks
+//! nothing usable (a 64-bit truncated hash of encrypted-at-rest content).
+
+use std::collections::HashMap;
+
+use fsencr_crypto::sha256;
+use fsencr_nvm::LineAddr;
+
+/// Per-line ECC tags over plaintext, the Osiris recovery oracle.
+///
+/// # Examples
+///
+/// ```
+/// use fsencr_secmem::EccStore;
+/// use fsencr_nvm::LineAddr;
+///
+/// let mut ecc = EccStore::new();
+/// let line = LineAddr::new(0x1000);
+/// ecc.record(line, &[1u8; 64]);
+/// assert!(ecc.check(line, &[1u8; 64]));
+/// assert!(!ecc.check(line, &[2u8; 64]));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct EccStore {
+    tags: HashMap<u64, [u8; 8]>,
+}
+
+impl EccStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        EccStore::default()
+    }
+
+    fn tag_of(line: LineAddr, plaintext: &[u8; 64]) -> [u8; 8] {
+        let mut input = [0u8; 72];
+        input[..64].copy_from_slice(plaintext);
+        input[64..].copy_from_slice(&line.get().to_le_bytes());
+        let digest = sha256(&input);
+        let mut tag = [0u8; 8];
+        tag.copy_from_slice(&digest[..8]);
+        tag
+    }
+
+    /// Records the ECC tag for a line being written with `plaintext`.
+    pub fn record(&mut self, line: LineAddr, plaintext: &[u8; 64]) {
+        self.tags.insert(line.get(), Self::tag_of(line, plaintext));
+    }
+
+    /// Checks a candidate plaintext against the stored tag. Lines that were
+    /// never written have no tag and fail the check.
+    pub fn check(&self, line: LineAddr, plaintext: &[u8; 64]) -> bool {
+        self.tags
+            .get(&line.get())
+            .is_some_and(|t| *t == Self::tag_of(line, plaintext))
+    }
+
+    /// Whether a tag exists for this line (the line was written at least
+    /// once).
+    pub fn has_tag(&self, line: LineAddr) -> bool {
+        self.tags.contains_key(&line.get())
+    }
+
+    /// Drops the tag (page shredding).
+    pub fn clear(&mut self, line: LineAddr) {
+        self.tags.remove(&line.get());
+    }
+
+    /// Iterates every tagged line (recovery walks this instead of the
+    /// whole address space).
+    pub fn lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.tags.keys().map(|&a| LineAddr::new(a))
+    }
+
+    /// Number of tagged lines.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether no lines are tagged.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_check() {
+        let mut ecc = EccStore::new();
+        let line = LineAddr::new(64);
+        assert!(!ecc.has_tag(line));
+        assert!(!ecc.check(line, &[0u8; 64]));
+        ecc.record(line, &[5u8; 64]);
+        assert!(ecc.has_tag(line));
+        assert!(ecc.check(line, &[5u8; 64]));
+        assert!(!ecc.check(line, &[6u8; 64]));
+    }
+
+    #[test]
+    fn tag_binds_address() {
+        // The same plaintext at a different address has a different tag,
+        // so recovery can't confuse relocated lines.
+        let mut ecc = EccStore::new();
+        ecc.record(LineAddr::new(0), &[9u8; 64]);
+        assert!(!ecc.check(LineAddr::new(64), &[9u8; 64]));
+    }
+
+    #[test]
+    fn rewrite_replaces_tag() {
+        let mut ecc = EccStore::new();
+        let line = LineAddr::new(128);
+        ecc.record(line, &[1u8; 64]);
+        ecc.record(line, &[2u8; 64]);
+        assert!(!ecc.check(line, &[1u8; 64]));
+        assert!(ecc.check(line, &[2u8; 64]));
+        assert_eq!(ecc.len(), 1);
+    }
+
+    #[test]
+    fn clear_removes() {
+        let mut ecc = EccStore::new();
+        let line = LineAddr::new(0);
+        ecc.record(line, &[1u8; 64]);
+        ecc.clear(line);
+        assert!(ecc.is_empty());
+        assert!(!ecc.check(line, &[1u8; 64]));
+    }
+}

@@ -1,0 +1,894 @@
+//! The metadata system: dedicated cache, Bonsai Merkle tree, Osiris
+//! stop-loss persistence.
+//!
+//! Every security-metadata line (MECB, FECB, spilled OTT entry) flows
+//! through here. Reads that miss the dedicated metadata cache fetch the
+//! line from NVM and verify it against the 8-ary Merkle tree before use;
+//! writes are absorbed by the cache and persisted lazily — except that, per
+//! Osiris, no counter block may accumulate more than `stop_loss` unpersisted
+//! updates, which bounds what crash recovery has to reconstruct.
+//!
+//! ## Trust and laziness
+//!
+//! A line resident in the metadata cache is on-chip and therefore trusted.
+//! Verification of a fetched line climbs the tree only until it reaches a
+//! cached (trusted) ancestor or the on-chip root digest. Conversely, every
+//! time a dirty line is written back to NVM, its parent's digest slot is
+//! updated *in the cache*, so the following invariant holds: for every line
+//! in NVM, the correct digest of its current content is found either in its
+//! cached parent or (if the parent is not cached) in its NVM-resident
+//! parent. Verification chains therefore always close.
+//!
+//! ## Zero interpretation
+//!
+//! Untouched NVM reads as zero. An all-zero tree node is interpreted as the
+//! *canonical zero node* of its level (the node whose children are all
+//! canonical zero), which gives a freshly-booted device a consistent tree
+//! without writing gigabytes of initial hashes.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use fsencr_cache::{Cache, Eviction};
+use fsencr_crypto::sha256;
+use fsencr_nvm::{LineAddr, NvmDevice, LINE_BYTES};
+use fsencr_sim::{config::SecurityConfig, Counter, Cycle, StatSource};
+
+use crate::layout::MetadataLayout;
+
+/// Integrity-verification failure: the Merkle tree rejected a fetched line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TamperError {
+    /// The line whose verification failed.
+    pub addr: LineAddr,
+    /// Tree level at which the mismatch was detected (0 = parents of
+    /// leaves; `usize::MAX` denotes the on-chip root comparison).
+    pub level: usize,
+}
+
+impl fmt::Display for TamperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.level == usize::MAX {
+            write!(f, "integrity violation at {:?}: root digest mismatch", self.addr)
+        } else {
+            write!(
+                f,
+                "integrity violation at {:?}: digest mismatch at tree level {}",
+                self.addr, self.level
+            )
+        }
+    }
+}
+
+impl std::error::Error for TamperError {}
+
+/// Completion information for one metadata operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaAccess {
+    /// Time at which the operation's result is available.
+    pub done: Cycle,
+    /// Whether the request hit in the metadata cache.
+    pub cache_hit: bool,
+}
+
+/// Counters describing metadata-system behaviour.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MetaStats {
+    /// Leaf (counter/OTT) lookups that hit the metadata cache.
+    pub leaf_hits: Counter,
+    /// Leaf lookups that missed and fetched from NVM.
+    pub leaf_misses: Counter,
+    /// Merkle nodes fetched from NVM during verification.
+    pub node_fetches: Counter,
+    /// Dirty lines written back to NVM on eviction.
+    pub evict_writebacks: Counter,
+    /// Stop-loss write-throughs forced by the Osiris rule.
+    pub osiris_persists: Counter,
+}
+
+fn digest8(bytes: &[u8; LINE_BYTES]) -> [u8; 8] {
+    let d = sha256(bytes);
+    let mut out = [0u8; 8];
+    out.copy_from_slice(&d[..8]);
+    out
+}
+
+/// The metadata cache, optionally partitioned per metadata kind
+/// (Section III-D: MECBs get half the capacity, FECBs and tree nodes a
+/// quarter each).
+#[derive(Debug, Clone)]
+enum MetaCaches {
+    Unified(Cache),
+    Partitioned {
+        mecb: Cache,
+        fecb: Cache,
+        nodes: Cache,
+    },
+}
+
+/// Which partition a metadata line routes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetaKind {
+    Mecb,
+    Fecb,
+    Nodes,
+}
+
+impl MetaCaches {
+    fn get(&mut self, kind: MetaKind) -> &mut Cache {
+        match self {
+            MetaCaches::Unified(c) => c,
+            MetaCaches::Partitioned { mecb, fecb, nodes } => match kind {
+                MetaKind::Mecb => mecb,
+                MetaKind::Fecb => fecb,
+                MetaKind::Nodes => nodes,
+            },
+        }
+    }
+
+    fn all_mut(&mut self) -> Vec<&mut Cache> {
+        match self {
+            MetaCaches::Unified(c) => vec![c],
+            MetaCaches::Partitioned { mecb, fecb, nodes } => vec![mecb, fecb, nodes],
+        }
+    }
+
+    fn latency_cycles(&self) -> u64 {
+        match self {
+            MetaCaches::Unified(c) => c.latency_cycles(),
+            MetaCaches::Partitioned { mecb, .. } => mecb.latency_cycles(),
+        }
+    }
+
+    fn hit_rate(&self) -> f64 {
+        let (mut hits, mut misses) = (0u64, 0u64);
+        let collect = |c: &Cache, hits: &mut u64, misses: &mut u64| {
+            *hits += c.stats().hits.get();
+            *misses += c.stats().misses.get();
+        };
+        match self {
+            MetaCaches::Unified(c) => collect(c, &mut hits, &mut misses),
+            MetaCaches::Partitioned { mecb, fecb, nodes } => {
+                collect(mecb, &mut hits, &mut misses);
+                collect(fecb, &mut hits, &mut misses);
+                collect(nodes, &mut hits, &mut misses);
+            }
+        }
+        fsencr_sim::stats::hit_rate(hits, misses)
+    }
+}
+
+/// The metadata cache + Merkle engine + Osiris persistence state.
+#[derive(Debug, Clone)]
+pub struct MetadataSystem {
+    layout: MetadataLayout,
+    cache: MetaCaches,
+    root: [u8; 8],
+    /// Canonical all-zero node content per level.
+    canon_nodes: Vec<[u8; LINE_BYTES]>,
+    /// Digest of the canonical node per level.
+    canon_digests: Vec<[u8; 8]>,
+    zero_leaf_digest: [u8; 8],
+    /// Unpersisted-update counts per cached dirty leaf (Osiris).
+    pending: std::collections::HashMap<u64, u32>,
+    stop_loss: u32,
+    mac_cycles: u64,
+    stats: MetaStats,
+}
+
+impl MetadataSystem {
+    /// Creates the system for a layout and security configuration.
+    pub fn new(layout: MetadataLayout, cfg: &SecurityConfig) -> Self {
+        let zero_leaf_digest = digest8(&[0u8; LINE_BYTES]);
+        let levels = layout.merkle_levels();
+        let mut canon_nodes = Vec::with_capacity(levels);
+        let mut canon_digests = Vec::with_capacity(levels);
+        let mut child = zero_leaf_digest;
+        for _ in 0..levels {
+            let mut node = [0u8; LINE_BYTES];
+            for slot in 0..8 {
+                node[slot * 8..slot * 8 + 8].copy_from_slice(&child);
+            }
+            let d = digest8(&node);
+            canon_nodes.push(node);
+            canon_digests.push(d);
+            child = d;
+        }
+        let root = *canon_digests.last().expect("at least one level");
+        let cache = if cfg.partition_metadata_cache {
+            let part = |fraction: usize| {
+                let mut c = cfg.metadata_cache;
+                c.size_bytes /= fraction;
+                Cache::new(c)
+            };
+            MetaCaches::Partitioned {
+                mecb: part(2),
+                fecb: part(4),
+                nodes: part(4),
+            }
+        } else {
+            MetaCaches::Unified(Cache::new(cfg.metadata_cache))
+        };
+        MetadataSystem {
+            layout,
+            cache,
+            root,
+            canon_nodes,
+            canon_digests,
+            zero_leaf_digest,
+            pending: std::collections::HashMap::new(),
+            stop_loss: cfg.osiris_stop_loss.max(1),
+            mac_cycles: cfg.mac_cycles,
+            stats: MetaStats::default(),
+        }
+    }
+
+    /// The layout this system manages.
+    pub fn layout(&self) -> &MetadataLayout {
+        &self.layout
+    }
+
+    /// The current on-chip root digest.
+    pub fn root(&self) -> [u8; 8] {
+        self.root
+    }
+
+    /// Behaviour counters.
+    pub fn stats(&self) -> &MetaStats {
+        &self.stats
+    }
+
+    /// Resets the behaviour counters (not the cache contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = MetaStats::default();
+        for c in self.cache.all_mut() {
+            c.reset_stats();
+        }
+    }
+
+    /// Hit rate of the metadata cache since the last reset.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// Which partition `addr` belongs to. Counter leaves alternate
+    /// MECB/FECB at 64-byte granularity; OTT-spill leaves and tree nodes
+    /// share the node partition.
+    fn kind_of(&self, addr: LineAddr) -> MetaKind {
+        let base = self.layout.meta_base();
+        let counters_end = base + self.layout.data_bytes() / 4096 * 128;
+        if addr.get() >= base && addr.get() < counters_end {
+            if (addr.get() - base) % 128 == 0 {
+                MetaKind::Mecb
+            } else {
+                MetaKind::Fecb
+            }
+        } else {
+            MetaKind::Nodes
+        }
+    }
+
+    fn cache_at(&mut self, addr: LineAddr) -> &mut Cache {
+        let kind = self.kind_of(addr);
+        self.cache.get(kind)
+    }
+
+    fn interpret_node(&self, level: usize, bytes: [u8; LINE_BYTES]) -> [u8; LINE_BYTES] {
+        if bytes == [0u8; LINE_BYTES] {
+            self.canon_nodes[level]
+        } else {
+            bytes
+        }
+    }
+
+    fn slot_of(node: &[u8; LINE_BYTES], slot: usize) -> [u8; 8] {
+        let mut d = [0u8; 8];
+        d.copy_from_slice(&node[slot * 8..slot * 8 + 8]);
+        d
+    }
+
+    fn set_slot(node: &mut [u8; LINE_BYTES], slot: usize, digest: [u8; 8]) {
+        node[slot * 8..slot * 8 + 8].copy_from_slice(&digest);
+    }
+
+    /// Reads a covered metadata line, fetching and verifying on a cache
+    /// miss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TamperError`] if the fetched line (or any tree node on its
+    /// verification path) fails its digest check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a covered metadata line.
+    pub fn read_block(
+        &mut self,
+        nvm: &mut NvmDevice,
+        now: Cycle,
+        addr: LineAddr,
+    ) -> Result<([u8; LINE_BYTES], MetaAccess), TamperError> {
+        let mut t = now + self.cache.latency_cycles();
+        if let Some(data) = self.cache_at(addr).lookup(addr) {
+            let data = *data;
+            self.stats.leaf_hits.incr();
+            return Ok((data, MetaAccess { done: t, cache_hit: true }));
+        }
+        self.stats.leaf_misses.incr();
+
+        let (bytes, t_read) = nvm.read_line(t, addr.into_phys());
+        t = t_read;
+        t = self.verify_climb(nvm, t, addr, &bytes)?;
+
+        t = self.install(nvm, t, addr, bytes, false);
+        Ok((bytes, MetaAccess { done: t, cache_hit: false }))
+    }
+
+    /// Verifies `bytes` (the content of covered line `addr`) by climbing
+    /// the tree until a cached ancestor or the root. Fetched nodes are
+    /// installed in the cache on success.
+    fn verify_climb(
+        &mut self,
+        nvm: &mut NvmDevice,
+        mut t: Cycle,
+        addr: LineAddr,
+        bytes: &[u8; LINE_BYTES],
+    ) -> Result<Cycle, TamperError> {
+        let leaf = self.layout.leaf_index(addr);
+        let mut expected = digest8(bytes);
+        t += self.mac_cycles;
+
+        let path = self.layout.path_of_leaf(leaf);
+        let mut fetched: Vec<(LineAddr, [u8; LINE_BYTES])> = Vec::new();
+        let top_level = self.layout.merkle_levels() - 1;
+
+        for (level, node_idx, slot) in path {
+            let node_addr = self.layout.node_addr(level, node_idx);
+            if let Some(node) = self.cache_at(node_addr).lookup(node_addr) {
+                // Trusted on-chip copy: one check closes the chain.
+                if Self::slot_of(node, slot) != expected {
+                    return Err(TamperError { addr, level });
+                }
+                t += self.mac_cycles;
+                for (a, b) in fetched {
+                    t = self.install(nvm, t, a, b, false);
+                }
+                return Ok(t);
+            }
+            let (raw, t_read) = nvm.read_line(t, node_addr.into_phys());
+            t = t_read + self.mac_cycles;
+            self.stats.node_fetches.incr();
+            let node = self.interpret_node(level, raw);
+            if Self::slot_of(&node, slot) != expected {
+                return Err(TamperError { addr, level });
+            }
+            expected = digest8(&node);
+            fetched.push((node_addr, node));
+            if level == top_level {
+                if expected != self.root {
+                    return Err(TamperError { addr, level: usize::MAX });
+                }
+                for (a, b) in fetched {
+                    t = self.install(nvm, t, a, b, false);
+                }
+                return Ok(t);
+            }
+        }
+        unreachable!("path always terminates at the top level");
+    }
+
+    /// Inserts a line into the metadata cache, processing the eviction
+    /// cascade (dirty victims are written back and their parents updated).
+    fn install(
+        &mut self,
+        nvm: &mut NvmDevice,
+        mut t: Cycle,
+        addr: LineAddr,
+        bytes: [u8; LINE_BYTES],
+        dirty: bool,
+    ) -> Cycle {
+        // A copy may have (re)appeared in the cache since `bytes` was
+        // fetched: the eviction cascade of an earlier install can route a
+        // `bump_parent` slot update into this very line. The cached copy
+        // is then strictly fresher — clobbering it with the stale fetched
+        // image would orphan a child's digest and poison verification.
+        if self.cache_at(addr).probe(addr) {
+            debug_assert!(!dirty, "install() is only used for clean fills");
+            return t;
+        }
+        let mut queue: VecDeque<Eviction> = VecDeque::new();
+        if let Some(ev) = self.cache_at(addr).insert(addr, bytes, dirty) {
+            queue.push_back(ev);
+        }
+        let mut guard = 0;
+        while let Some(ev) = queue.pop_front() {
+            guard += 1;
+            assert!(guard < 10_000, "eviction cascade did not terminate");
+            if !ev.dirty {
+                continue;
+            }
+            self.stats.evict_writebacks.incr();
+            self.pending.remove(&ev.addr.get());
+            t = nvm.write_line(t, ev.addr.into_phys(), &ev.data);
+            t = self.bump_parent(nvm, t, ev.addr, &ev.data, &mut queue);
+        }
+        t
+    }
+
+    /// After writing `addr` (content `bytes`) to NVM, reflect its new
+    /// digest in the parent (cached, dirty) — or update the on-chip root if
+    /// `addr` is the top node.
+    fn bump_parent(
+        &mut self,
+        nvm: &mut NvmDevice,
+        mut t: Cycle,
+        addr: LineAddr,
+        bytes: &[u8; LINE_BYTES],
+        queue: &mut VecDeque<Eviction>,
+    ) -> Cycle {
+        let new_digest = digest8(bytes);
+        t += self.mac_cycles;
+
+        let (parent_level, parent_idx, slot) = if self.layout.is_metadata(addr) {
+            let leaf = self.layout.leaf_index(addr);
+            (0usize, leaf / 8, (leaf % 8) as usize)
+        } else if let Some((level, idx)) = self.layout.node_coords(addr) {
+            let top = self.layout.merkle_levels() - 1;
+            if level == top {
+                self.root = new_digest;
+                return t;
+            }
+            (level + 1, idx / 8, (idx % 8) as usize)
+        } else {
+            panic!("{addr:?} is neither a covered leaf nor a tree node");
+        };
+
+        let parent_addr = self.layout.node_addr(parent_level, parent_idx);
+        let mut node = match self.cache_at(parent_addr).lookup(parent_addr) {
+            Some(n) => *n,
+            None => {
+                // Fetch the parent without full climb: its own integrity is
+                // re-established transitively — we are about to overwrite
+                // one slot and mark it dirty, and its digest will be
+                // propagated upward when it is in turn written back.
+                let (raw, t_read) = nvm.read_line(t, parent_addr.into_phys());
+                t = t_read;
+                self.stats.node_fetches.incr();
+                self.interpret_node(parent_level, raw)
+            }
+        };
+        Self::set_slot(&mut node, slot, new_digest);
+        if !self.cache_at(parent_addr).update(parent_addr, &node) {
+            if let Some(ev) = self.cache_at(parent_addr).insert(parent_addr, node, true) {
+                queue.push_back(ev);
+            }
+        }
+        t
+    }
+
+    /// Writes a covered metadata line. The line is fetched (and verified)
+    /// first if not cached, updated in the cache, and — every
+    /// `stop_loss`-th update — written through to NVM per Osiris.
+    ///
+    /// # Errors
+    ///
+    /// Propagates verification failures from the fetch-on-miss.
+    pub fn write_block(
+        &mut self,
+        nvm: &mut NvmDevice,
+        now: Cycle,
+        addr: LineAddr,
+        bytes: [u8; LINE_BYTES],
+    ) -> Result<MetaAccess, TamperError> {
+        let mut t = now + self.cache.latency_cycles();
+        let mut hit = true;
+        if !self.cache_at(addr).probe(addr) {
+            hit = false;
+            let (_, acc) = self.read_block(nvm, now, addr)?;
+            t = acc.done;
+        }
+        let updated = self.cache_at(addr).update(addr, &bytes);
+        debug_assert!(updated, "line present after fetch");
+
+        let count = self.pending.entry(addr.get()).or_insert(0);
+        *count += 1;
+        if *count >= self.stop_loss {
+            *count = 0;
+            self.stats.osiris_persists.incr();
+            t = nvm.write_line(t, addr.into_phys(), &bytes);
+            self.cache_at(addr).clean(addr);
+            let mut queue = VecDeque::new();
+            t = self.bump_parent(nvm, t, addr, &bytes, &mut queue);
+            // bump_parent may dirty the parent; the queue only fills if the
+            // parent insertion evicted something.
+            t = self.drain_queue(nvm, t, queue);
+        }
+        Ok(MetaAccess { done: t, cache_hit: hit })
+    }
+
+    /// Forces a covered line to the media *now* (write-through), keeping
+    /// it cached clean. Used for rare metadata updates whose durability
+    /// recovery depends on — e.g. the FECB identity stamp at page-fault
+    /// time, without which post-crash recovery could not tell file pages
+    /// from plain memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates verification failures from the fetch-on-miss.
+    pub fn persist_block(
+        &mut self,
+        nvm: &mut NvmDevice,
+        now: Cycle,
+        addr: LineAddr,
+    ) -> Result<Cycle, TamperError> {
+        let (bytes, acc) = self.read_block(nvm, now, addr)?;
+        let mut t = nvm.write_line(acc.done, addr.into_phys(), &bytes);
+        self.cache_at(addr).clean(addr);
+        self.pending.remove(&addr.get());
+        let mut queue = VecDeque::new();
+        t = self.bump_parent(nvm, t, addr, &bytes, &mut queue);
+        t = self.drain_queue(nvm, t, queue);
+        Ok(t)
+    }
+
+    fn drain_queue(&mut self, nvm: &mut NvmDevice, mut t: Cycle, mut queue: VecDeque<Eviction>) -> Cycle {
+        let mut guard = 0;
+        while let Some(ev) = queue.pop_front() {
+            guard += 1;
+            assert!(guard < 10_000, "eviction cascade did not terminate");
+            if !ev.dirty {
+                continue;
+            }
+            self.stats.evict_writebacks.incr();
+            self.pending.remove(&ev.addr.get());
+            t = nvm.write_line(t, ev.addr.into_phys(), &ev.data);
+            t = self.bump_parent(nvm, t, ev.addr, &ev.data, &mut queue);
+        }
+        t
+    }
+
+    /// Flushes every dirty metadata line to NVM (clean shutdown), keeping
+    /// the tree consistent. Returns the completion time.
+    pub fn flush(&mut self, nvm: &mut NvmDevice, now: Cycle) -> Cycle {
+        let mut t = now;
+        let dirty: Vec<Eviction> = self
+            .cache
+            .all_mut()
+            .into_iter()
+            .flat_map(|c| c.drain_dirty())
+            .collect();
+        let mut queue: VecDeque<Eviction> = VecDeque::new();
+        for ev in dirty {
+            t = nvm.write_line(t, ev.addr.into_phys(), &ev.data);
+            t = self.bump_parent(nvm, t, ev.addr, &ev.data, &mut queue);
+        }
+        // bump_parent dirtied parents again; iterate until clean.
+        t = self.drain_queue(nvm, t, queue);
+        loop {
+            let dirty: Vec<Eviction> = self
+                .cache
+                .all_mut()
+                .into_iter()
+                .flat_map(|c| c.drain_dirty())
+                .collect();
+            if dirty.is_empty() {
+                break;
+            }
+            let mut queue = VecDeque::new();
+            for ev in dirty {
+                t = nvm.write_line(t, ev.addr.into_phys(), &ev.data);
+                t = self.bump_parent(nvm, t, ev.addr, &ev.data, &mut queue);
+            }
+            t = self.drain_queue(nvm, t, queue);
+        }
+        self.pending.clear();
+        t
+    }
+
+    /// Power loss: all cached metadata (and pending Osiris state) vanishes.
+    /// The on-chip root survives (persistent processor register, Section
+    /// III-H).
+    pub fn crash(&mut self) {
+        for c in self.cache.all_mut() {
+            c.clear();
+        }
+        self.pending.clear();
+    }
+
+    /// Rebuilds the whole Merkle tree from NVM contents and installs the
+    /// new root — the final step of post-crash recovery, after counters
+    /// have been repaired via the ECC oracle.
+    pub fn rebuild(&mut self, nvm: &mut NvmDevice) {
+        let leaves = self.layout.leaves().collect::<Vec<_>>();
+        let mut digests: Vec<[u8; 8]> = leaves
+            .iter()
+            .map(|l| {
+                let bytes = nvm.peek_line(l.into_phys());
+                if bytes == [0u8; LINE_BYTES] {
+                    self.zero_leaf_digest
+                } else {
+                    digest8(&bytes)
+                }
+            })
+            .collect();
+
+        for level in 0..self.layout.merkle_levels() {
+            let nodes = self.layout.nodes_at(level);
+            let mut next = Vec::with_capacity(nodes as usize);
+            for idx in 0..nodes {
+                let mut node = self.canon_nodes[level];
+                let mut canonical = true;
+                for slot in 0..8usize {
+                    let child = idx * 8 + slot as u64;
+                    if (child as usize) < digests.len() {
+                        let d = digests[child as usize];
+                        Self::set_slot(&mut node, slot, d);
+                        let canon_child = if level == 0 {
+                            self.zero_leaf_digest
+                        } else {
+                            self.canon_digests[level - 1]
+                        };
+                        if d != canon_child {
+                            canonical = false;
+                        }
+                    }
+                }
+                if canonical {
+                    // leave untouched subtrees as zeroes on media
+                    next.push(self.canon_digests[level]);
+                } else {
+                    nvm.poke_line(self.layout.node_addr(level, idx).into_phys(), &node);
+                    next.push(digest8(&node));
+                }
+            }
+            digests = next;
+        }
+        self.root = digests[0];
+        for c in self.cache.all_mut() {
+            c.clear();
+        }
+        self.pending.clear();
+    }
+}
+
+impl StatSource for MetadataSystem {
+    fn stat_rows(&self) -> Vec<(String, u64)> {
+        vec![
+            ("meta.leaf_hits".to_string(), self.stats.leaf_hits.get()),
+            ("meta.leaf_misses".to_string(), self.stats.leaf_misses.get()),
+            ("meta.node_fetches".to_string(), self.stats.node_fetches.get()),
+            (
+                "meta.evict_writebacks".to_string(),
+                self.stats.evict_writebacks.get(),
+            ),
+            (
+                "meta.osiris_persists".to_string(),
+                self.stats.osiris_persists.get(),
+            ),
+        ]
+    }
+}
+
+/// Convenience conversion used throughout this module.
+trait IntoPhys {
+    fn into_phys(self) -> fsencr_nvm::PhysAddr;
+}
+
+impl IntoPhys for LineAddr {
+    fn into_phys(self) -> fsencr_nvm::PhysAddr {
+        fsencr_nvm::PhysAddr::new(self.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsencr_nvm::PageId;
+    use fsencr_sim::config::{CacheConfig, NvmConfig, SecurityConfig};
+
+    fn small_setup() -> (MetadataSystem, NvmDevice) {
+        let layout = MetadataLayout::new(64 * 4096, 4096);
+        let mut cfg = SecurityConfig::default();
+        cfg.metadata_cache = CacheConfig {
+            size_bytes: 64 * 64, // 64 lines
+            ways: 8,
+            block_bytes: 64,
+            latency_cycles: 3,
+        };
+        cfg.osiris_stop_loss = 4;
+        let sys = MetadataSystem::new(layout, &cfg);
+        let nvm = NvmDevice::new(NvmConfig::default());
+        (sys, nvm)
+    }
+
+    #[test]
+    fn fresh_device_verifies_zero_leaves() {
+        let (mut sys, mut nvm) = small_setup();
+        let addr = sys.layout().mecb_addr(PageId::new(0));
+        let (bytes, acc) = sys.read_block(&mut nvm, Cycle::ZERO, addr).unwrap();
+        assert_eq!(bytes, [0u8; 64]);
+        assert!(!acc.cache_hit);
+        // second read hits the cache
+        let (_, acc2) = sys.read_block(&mut nvm, acc.done, addr).unwrap();
+        assert!(acc2.cache_hit);
+        assert!(acc2.done > acc.done);
+    }
+
+    #[test]
+    fn write_read_roundtrip_through_cache() {
+        let (mut sys, mut nvm) = small_setup();
+        let addr = sys.layout().fecb_addr(PageId::new(3));
+        let data = [0x42u8; 64];
+        let acc = sys.write_block(&mut nvm, Cycle::ZERO, addr, data).unwrap();
+        let (bytes, _) = sys.read_block(&mut nvm, acc.done, addr).unwrap();
+        assert_eq!(bytes, data);
+    }
+
+    #[test]
+    fn osiris_stop_loss_forces_persistence() {
+        let (mut sys, mut nvm) = small_setup();
+        let addr = sys.layout().mecb_addr(PageId::new(1));
+        let mut t = Cycle::ZERO;
+        for i in 0..4u8 {
+            let acc = sys
+                .write_block(&mut nvm, t, addr, [i + 1; 64])
+                .unwrap();
+            t = acc.done;
+        }
+        assert_eq!(sys.stats().osiris_persists.get(), 1);
+        // The 4th update reached the media.
+        assert_eq!(nvm.peek_line(addr.into_phys()), [4u8; 64]);
+    }
+
+    #[test]
+    fn dirty_data_survives_flush_and_cold_restart() {
+        let (mut sys, mut nvm) = small_setup();
+        let addr = sys.layout().mecb_addr(PageId::new(2));
+        sys.write_block(&mut nvm, Cycle::ZERO, addr, [7u8; 64]).unwrap();
+        sys.flush(&mut nvm, Cycle::ZERO);
+        // Simulate restart with preserved root.
+        sys.crash();
+        let (bytes, _) = sys.read_block(&mut nvm, Cycle::ZERO, addr).unwrap();
+        assert_eq!(bytes, [7u8; 64]);
+    }
+
+    #[test]
+    fn tamper_with_counter_is_detected_after_flush() {
+        let (mut sys, mut nvm) = small_setup();
+        let addr = sys.layout().mecb_addr(PageId::new(5));
+        sys.write_block(&mut nvm, Cycle::ZERO, addr, [9u8; 64]).unwrap();
+        sys.flush(&mut nvm, Cycle::ZERO);
+        sys.crash(); // drop the cached (trusted) copies
+
+        // Physical attacker flips a byte in the counter block.
+        let mut evil = nvm.peek_line(addr.into_phys());
+        evil[0] ^= 0xff;
+        nvm.poke_line(addr.into_phys(), &evil);
+
+        let err = sys.read_block(&mut nvm, Cycle::ZERO, addr).unwrap_err();
+        assert_eq!(err.addr, addr);
+    }
+
+    #[test]
+    fn tamper_with_tree_node_is_detected() {
+        let (mut sys, mut nvm) = small_setup();
+        let addr = sys.layout().mecb_addr(PageId::new(6));
+        sys.write_block(&mut nvm, Cycle::ZERO, addr, [1u8; 64]).unwrap();
+        sys.flush(&mut nvm, Cycle::ZERO);
+        sys.crash();
+
+        // Corrupt the level-0 node covering this leaf.
+        let leaf = sys.layout().leaf_index(addr);
+        let node_addr = sys.layout().node_addr(0, leaf / 8);
+        let mut evil = nvm.peek_line(node_addr.into_phys());
+        evil[63] ^= 1;
+        nvm.poke_line(node_addr.into_phys(), &evil);
+
+        assert!(sys.read_block(&mut nvm, Cycle::ZERO, addr).is_err());
+    }
+
+    #[test]
+    fn replay_of_old_counter_is_detected() {
+        let (mut sys, mut nvm) = small_setup();
+        let addr = sys.layout().mecb_addr(PageId::new(7));
+        sys.write_block(&mut nvm, Cycle::ZERO, addr, [1u8; 64]).unwrap();
+        sys.flush(&mut nvm, Cycle::ZERO);
+        let old = nvm.peek_line(addr.into_phys());
+
+        sys.write_block(&mut nvm, Cycle::ZERO, addr, [2u8; 64]).unwrap();
+        sys.flush(&mut nvm, Cycle::ZERO);
+        sys.crash();
+
+        // Replay the old (genuinely once-valid) counter value.
+        nvm.poke_line(addr.into_phys(), &old);
+        assert!(sys.read_block(&mut nvm, Cycle::ZERO, addr).is_err());
+    }
+
+    #[test]
+    fn rebuild_accepts_tampered_free_state_but_fixes_root() {
+        // rebuild() recomputes the tree from whatever is on media — it is
+        // only sound after ECC-based counter recovery. Here we just check
+        // it yields a self-consistent tree.
+        let (mut sys, mut nvm) = small_setup();
+        let addr = sys.layout().fecb_addr(PageId::new(1));
+        sys.write_block(&mut nvm, Cycle::ZERO, addr, [3u8; 64]).unwrap();
+        sys.flush(&mut nvm, Cycle::ZERO);
+        sys.crash();
+        sys.rebuild(&mut nvm);
+        let (bytes, _) = sys.read_block(&mut nvm, Cycle::ZERO, addr).unwrap();
+        assert_eq!(bytes, [3u8; 64]);
+    }
+
+    #[test]
+    fn eviction_pressure_keeps_tree_consistent() {
+        // Touch far more counter blocks than the 64-line cache holds; the
+        // eviction cascade must keep every path verifiable.
+        let (mut sys, mut nvm) = small_setup();
+        let mut t = Cycle::ZERO;
+        for p in 0..64u64 {
+            let addr = sys.layout().mecb_addr(PageId::new(p));
+            let acc = sys.write_block(&mut nvm, t, addr, [p as u8 + 1; 64]).unwrap();
+            t = acc.done;
+        }
+        // Re-read everything; all must verify and carry the right data.
+        for p in 0..64u64 {
+            let addr = sys.layout().mecb_addr(PageId::new(p));
+            let (bytes, acc) = sys.read_block(&mut nvm, t, addr).unwrap();
+            t = acc.done;
+            assert_eq!(bytes, [p as u8 + 1; 64], "page {p}");
+        }
+        assert!(sys.stats().evict_writebacks.get() > 0, "pressure must evict");
+    }
+
+    #[test]
+    fn unverified_read_costs_more_than_cached() {
+        let (mut sys, mut nvm) = small_setup();
+        let addr = sys.layout().mecb_addr(PageId::new(9));
+        let (_, miss) = sys.read_block(&mut nvm, Cycle::ZERO, addr).unwrap();
+        let (_, hit) = sys.read_block(&mut nvm, Cycle::ZERO, addr).unwrap();
+        assert!(miss.done.get() > 3 * hit.done.get());
+    }
+
+    #[test]
+    fn partitioned_cache_behaves_like_unified() {
+        let layout = MetadataLayout::new(64 * 4096, 4096);
+        let mut cfg = SecurityConfig::default();
+        cfg.partition_metadata_cache = true;
+        cfg.metadata_cache = CacheConfig {
+            size_bytes: 64 * 64,
+            ways: 8,
+            block_bytes: 64,
+            latency_cycles: 3,
+        };
+        let mut sys = MetadataSystem::new(layout, &cfg);
+        let mut nvm = NvmDevice::new(NvmConfig::default());
+        let mut t = Cycle::ZERO;
+        // Mixed MECB/FECB traffic with flush + crash in the middle.
+        for p in 0..32u64 {
+            let page = PageId::new(p);
+            t = sys.write_block(&mut nvm, t, sys.layout().mecb_addr(page), [p as u8; 64]).unwrap().done;
+            t = sys.write_block(&mut nvm, t, sys.layout().fecb_addr(page), [p as u8 + 100; 64]).unwrap().done;
+        }
+        t = sys.flush(&mut nvm, t);
+        sys.crash();
+        for p in 0..32u64 {
+            let page = PageId::new(p);
+            let (m, acc) = sys.read_block(&mut nvm, t, sys.layout().mecb_addr(page)).unwrap();
+            t = acc.done;
+            assert_eq!(m, [p as u8; 64]);
+            let (f, acc) = sys.read_block(&mut nvm, t, sys.layout().fecb_addr(page)).unwrap();
+            t = acc.done;
+            assert_eq!(f, [p as u8 + 100; 64]);
+        }
+        assert!(sys.cache_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn stat_rows_present() {
+        let (mut sys, mut nvm) = small_setup();
+        let addr = sys.layout().mecb_addr(PageId::new(0));
+        sys.read_block(&mut nvm, Cycle::ZERO, addr).unwrap();
+        let rows = sys.stat_rows();
+        assert!(rows.iter().any(|(k, v)| k == "meta.leaf_misses" && *v == 1));
+    }
+}

@@ -1,0 +1,196 @@
+//! Simulation time.
+//!
+//! The simulated core runs at 1 GHz (Table III of the paper), so one core
+//! cycle is exactly one nanosecond. All latencies in the workspace are
+//! expressed in [`Cycle`]s; helpers convert from the nanosecond figures the
+//! paper quotes for the memory device and the AES engine.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in simulated time, measured in core cycles since boot.
+///
+/// `Cycle` is also used for durations: the difference of two timestamps is
+/// again a `Cycle`. At the paper's 1 GHz clock a cycle equals a nanosecond,
+/// which [`Cycle::from_ns`] makes explicit.
+///
+/// # Examples
+///
+/// ```
+/// use fsencr_sim::Cycle;
+///
+/// let start = Cycle::new(100);
+/// let done = start + Cycle::from_ns(60); // a 60 ns PCM read
+/// assert_eq!(done.get(), 160);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The zero timestamp (simulation boot).
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a timestamp from a raw cycle count.
+    #[inline]
+    pub const fn new(cycles: u64) -> Self {
+        Cycle(cycles)
+    }
+
+    /// Converts a nanosecond figure to cycles (1 GHz core: 1 ns = 1 cycle).
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Cycle(ns)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the later of two timestamps.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two timestamps.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+
+    /// Duration from `earlier` to `self`, saturating at zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fsencr_sim::Cycle;
+    /// assert_eq!(Cycle::new(7).since(Cycle::new(3)).get(), 4);
+    /// assert_eq!(Cycle::new(3).since(Cycle::new(7)).get(), 0);
+    /// ```
+    #[inline]
+    pub fn since(self, earlier: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cyc", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(value: u64) -> Self {
+        Cycle(value)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(value: Cycle) -> Self {
+        value.0
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        Cycle(iter.map(|c| c.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(Cycle::ZERO.get(), 0);
+        assert_eq!(Cycle::new(42).get(), 42);
+        assert_eq!(Cycle::from_ns(60).get(), 60);
+        assert_eq!(u64::from(Cycle::new(9)), 9);
+        assert_eq!(Cycle::from(9u64), Cycle::new(9));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycle::new(10);
+        let b = Cycle::new(3);
+        assert_eq!((a + b).get(), 13);
+        assert_eq!((a + 5u64).get(), 15);
+        assert_eq!((a - b).get(), 7);
+        // subtraction saturates: durations never go negative
+        assert_eq!((b - a).get(), 0);
+        let mut c = a;
+        c += b;
+        c += 1u64;
+        assert_eq!(c.get(), 14);
+        c -= Cycle::new(4);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn ordering_and_extrema() {
+        let a = Cycle::new(2);
+        let b = Cycle::new(5);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b.since(a).get(), 3);
+        assert_eq!(a.since(b).get(), 0);
+    }
+
+    #[test]
+    fn sum_and_display() {
+        let total: Cycle = [1u64, 2, 3].iter().map(|&n| Cycle::new(n)).sum();
+        assert_eq!(total.get(), 6);
+        assert_eq!(format!("{total}"), "6cyc");
+        assert_eq!(format!("{total:?}"), "Cycle(6)");
+    }
+}

@@ -1,0 +1,167 @@
+//! Deterministic time-ordered event queue.
+//!
+//! The workloads crate interleaves several simulated threads; each thread is
+//! an event carrying its identifier and wake-up time. Ties are broken by
+//! insertion order so that a given seed always produces the same schedule.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::clock::Cycle;
+
+/// A time-ordered queue of events with deterministic tie-breaking.
+///
+/// Events scheduled for the same [`Cycle`] pop in insertion order (FIFO),
+/// which keeps multi-threaded workload simulations reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use fsencr_sim::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle::new(5), "late");
+/// q.push(Cycle::new(1), "early");
+/// q.push(Cycle::new(1), "early-second");
+/// assert_eq!(q.pop(), Some((Cycle::new(1), "early")));
+/// assert_eq!(q.pop(), Some((Cycle::new(1), "early-second")));
+/// assert_eq!(q.pop(), Some((Cycle::new(5), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    time: Cycle,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`.
+    pub fn push(&mut self, time: Cycle, payload: T) {
+        let entry = Entry {
+            time,
+            seq: self.seq,
+            payload,
+        };
+        self.seq += 1;
+        self.heap.push(Reverse(entry));
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(Cycle, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.payload))
+    }
+
+    /// Returns the firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(30), 3);
+        q.push(Cycle::new(10), 1);
+        q.push(Cycle::new(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_within_same_time() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycle::new(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Cycle::new(4), "x");
+        q.push(Cycle::new(2), "y");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Cycle::new(2)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(Cycle::new(4)));
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(10), "a");
+        q.push(Cycle::new(5), "b");
+        assert_eq!(q.pop(), Some((Cycle::new(5), "b")));
+        q.push(Cycle::new(7), "c");
+        q.push(Cycle::new(6), "d");
+        assert_eq!(q.pop(), Some((Cycle::new(6), "d")));
+        assert_eq!(q.pop(), Some((Cycle::new(7), "c")));
+        assert_eq!(q.pop(), Some((Cycle::new(10), "a")));
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let q: EventQueue<u8> = EventQueue::default();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+}

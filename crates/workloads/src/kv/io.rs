@@ -1,0 +1,51 @@
+//! Small typed accessors over a DAX mapping.
+
+use fsencr::machine::{Machine, MachineError, MapId};
+
+pub fn read_u64(m: &mut Machine, core: usize, map: MapId, off: u64) -> Result<u64, MachineError> {
+    let mut buf = [0u8; 8];
+    m.read(core, map, off, &mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+pub fn write_u64(
+    m: &mut Machine,
+    core: usize,
+    map: MapId,
+    off: u64,
+    value: u64,
+) -> Result<(), MachineError> {
+    m.write(core, map, off, &value.to_le_bytes())
+}
+
+pub fn read_u32(m: &mut Machine, core: usize, map: MapId, off: u64) -> Result<u32, MachineError> {
+    let mut buf = [0u8; 4];
+    m.read(core, map, off, &mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+pub fn write_u32(
+    m: &mut Machine,
+    core: usize,
+    map: MapId,
+    off: u64,
+    value: u32,
+) -> Result<(), MachineError> {
+    m.write(core, map, off, &value.to_le_bytes())
+}
+
+pub fn read_u16(m: &mut Machine, core: usize, map: MapId, off: u64) -> Result<u16, MachineError> {
+    let mut buf = [0u8; 2];
+    m.read(core, map, off, &mut buf)?;
+    Ok(u16::from_le_bytes(buf))
+}
+
+pub fn write_u16(
+    m: &mut Machine,
+    core: usize,
+    map: MapId,
+    off: u64,
+    value: u16,
+) -> Result<(), MachineError> {
+    m.write(core, map, off, &value.to_le_bytes())
+}

@@ -1,0 +1,15 @@
+//! Persistent key-value engines living on the simulated DAX mapping.
+//!
+//! These are real byte-level data structures: node layouts, probe
+//! sequences and persist ordering all happen through [`fsencr::Machine`]
+//! loads/stores, so the memory controller sees exactly the traffic a
+//! PMDK-based engine would generate.
+
+pub mod btree;
+pub mod ctree;
+pub mod hashmap;
+pub(crate) mod io;
+
+pub use btree::BTreeKv;
+pub use ctree::CtreeKv;
+pub use hashmap::HashKv;

@@ -1,0 +1,66 @@
+//! A persistent, encrypted key-value store with crash recovery.
+//!
+//! Runs the byte-level B+Tree engine on an FsEncr-protected DAX file,
+//! crashes the machine mid-run (losing all volatile state), recovers the
+//! encryption counters Osiris-style, and proves the committed data
+//! survived while the media stayed ciphertext throughout.
+//!
+//! ```sh
+//! cargo run --release --example secure_kv_store
+//! ```
+
+use fsencr::machine::{Machine, MachineOpts, SecurityMode};
+use fsencr_fs::{AccessKind, GroupId, Mode, UserId};
+use fsencr_workloads::kv::BTreeKv;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut opts = MachineOpts::small_test();
+    opts.pmem_bytes = 16 << 20;
+    let mut m = Machine::new(opts, SecurityMode::FsEncr);
+
+    let user = UserId::new(1);
+    let group = GroupId::new(1);
+    m.login(user, "s3cret");
+
+    let h = m.create(user, group, "store.db", Mode::PRIVATE, Some("s3cret"))?;
+    let map = m.mmap(&h)?;
+    let tree = BTreeKv::create(&mut m, 0, map)?;
+
+    // Insert a few hundred records; every put persists PMDK-style.
+    for k in 0..500u64 {
+        let value = format!("value-{k:04}");
+        tree.put(&mut m, 0, k, value.as_bytes())?;
+    }
+    println!("inserted 500 records");
+
+    // Power loss: CPU caches, metadata cache and page tables vanish.
+    m.crash();
+    println!("machine crashed (volatile state lost)");
+
+    // Osiris recovery: replay counter candidates against the ECC oracle,
+    // repair the on-media counter blocks, rebuild the Merkle tree.
+    let report = m.recover();
+    println!(
+        "recovery: {} lines clean, {} repaired, {} unrecoverable",
+        report.clean, report.repaired, report.unrecoverable
+    );
+    assert_eq!(report.unrecoverable, 0);
+
+    // Remount and verify everything.
+    let h = m.open(user, &[group], "store.db", AccessKind::Read, Some("s3cret"))?;
+    let map = m.mmap(&h)?;
+    let tree = BTreeKv::open(&mut m, 0, map)?;
+    let mut buf = Vec::new();
+    for k in 0..500u64 {
+        assert!(tree.get(&mut m, 0, k, &mut buf)?, "key {k} lost");
+        assert_eq!(buf, format!("value-{k:04}").as_bytes());
+    }
+    println!("all 500 records intact after crash + recovery");
+
+    // Ordered scan through the leaf chain.
+    let mut count = 0;
+    let visited = tree.scan(&mut m, 0, |_k, _v| count += 1)?;
+    println!("in-order scan visited {visited} records");
+    assert_eq!(count, 500);
+    Ok(())
+}

@@ -1,0 +1,132 @@
+//! Property-based tests over the full stack.
+//!
+//! The strongest check a functional simulator affords: *differential
+//! testing*. Random operation sequences run against every security mode
+//! and against a plain in-memory reference model; all five must agree on
+//! every byte read. A second property asserts the confidentiality
+//! invariant — encrypted-file plaintext written and persisted never
+//! appears on the raw media.
+
+use proptest::prelude::*;
+
+use fsencr::machine::{Machine, MachineOpts, SecurityMode};
+use fsencr::security;
+use fsencr_fs::{GroupId, Mode, UserId};
+
+const FILE_BYTES: u64 = 64 * 1024;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { offset: u64, data: Vec<u8> },
+    Read { offset: u64, len: usize },
+    Persist { offset: u64, len: u64 },
+    CrashRecover,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..FILE_BYTES - 512, prop::collection::vec(any::<u8>(), 1..256))
+            .prop_map(|(offset, data)| Op::Write { offset, data }),
+        4 => (0..FILE_BYTES - 512, 1..256usize)
+            .prop_map(|(offset, len)| Op::Read { offset, len }),
+        2 => (0..FILE_BYTES - 512, 1..512u64)
+            .prop_map(|(offset, len)| Op::Persist { offset, len }),
+        1 => Just(Op::CrashRecover),
+    ]
+}
+
+/// Applies ops to a machine and a byte-array reference; returns false on
+/// any divergence. Writes are always persisted before a crash can occur
+/// (the reference model tracks persisted state only at crash points).
+fn check_mode(mode: SecurityMode, ops: &[Op]) {
+    let mut m = Machine::new(MachineOpts::small_test(), mode);
+    let user = UserId::new(1);
+    let group = GroupId::new(1);
+    let h = m
+        .create(user, group, "prop.bin", Mode::PRIVATE, Some("pw"))
+        .expect("create");
+    let mut map = m.mmap(&h).expect("mmap");
+
+    let mut model = vec![0u8; FILE_BYTES as usize];
+    let mut durable = vec![0u8; FILE_BYTES as usize];
+
+    for op in ops {
+        match op {
+            Op::Write { offset, data } => {
+                m.write(0, map, *offset, data).expect("write");
+                model[*offset as usize..*offset as usize + data.len()].copy_from_slice(data);
+                // Persist immediately so the durable image tracks the
+                // model deterministically (the machine-level lost-write
+                // behaviour is covered by dedicated tests).
+                m.persist(0, map, *offset, data.len() as u64).expect("persist");
+                durable[*offset as usize..*offset as usize + data.len()].copy_from_slice(data);
+            }
+            Op::Read { offset, len } => {
+                let mut buf = vec![0u8; *len];
+                m.read(0, map, *offset, &mut buf).expect("read");
+                assert_eq!(
+                    buf,
+                    &model[*offset as usize..*offset as usize + len],
+                    "{mode}: read divergence at {offset}+{len}"
+                );
+            }
+            Op::Persist { offset, len } => {
+                m.persist(0, map, *offset, *len).expect("persist");
+            }
+            Op::CrashRecover => {
+                if mode == SecurityMode::Software {
+                    // Software encryption loses the broken DAX persistence
+                    // model — the paper's core complaint — so the crash
+                    // property is only meaningful for the DAX modes.
+                    continue;
+                }
+                m.crash();
+                let report = m.recover();
+                assert_eq!(report.unrecoverable, 0, "{mode}: {report:?}");
+                let h = m
+                    .open(user, &[group], "prop.bin", fsencr_fs::AccessKind::Write, Some("pw"))
+                    .expect("reopen");
+                map = m.mmap(&h).expect("remap");
+                model.copy_from_slice(&durable);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case simulates hundreds of memory operations
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn all_modes_agree_with_reference(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        for mode in [
+            SecurityMode::Unencrypted,
+            SecurityMode::MemoryOnly,
+            SecurityMode::FsEncr,
+            SecurityMode::Software,
+        ] {
+            check_mode(mode, &ops);
+        }
+    }
+
+    #[test]
+    fn persisted_secrets_never_reach_media_in_plaintext(
+        payload in prop::collection::vec(any::<u8>(), 48..128),
+        offset in 0u64..(FILE_BYTES - 256),
+    ) {
+        // Low-entropy payloads (all zeroes) would false-positive against
+        // untouched media; skip degenerate inputs.
+        prop_assume!(payload.iter().filter(|&&b| b != 0).count() >= 24);
+        let mut m = Machine::new(MachineOpts::small_test(), SecurityMode::FsEncr);
+        let h = m
+            .create(UserId::new(1), GroupId::new(1), "s.bin", Mode::PRIVATE, Some("pw"))
+            .expect("create");
+        let map = m.mmap(&h).expect("mmap");
+        m.write(0, map, offset, &payload).expect("write");
+        m.persist(0, map, offset, payload.len() as u64).expect("persist");
+        m.shutdown_flush().expect("flush");
+        prop_assert!(!security::media_contains(&m, &payload));
+    }
+}
