@@ -1,7 +1,7 @@
 //! Experiment driver: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! harness <experiment> [scale]
+//! harness [--jobs N] <experiment> [scale]
 //!
 //! experiments:
 //!   fig3        software-encryption overhead (Whisper)
@@ -12,19 +12,29 @@
 //!   table1      vulnerability matrix
 //!   params      Table III simulation parameters
 //!   list        Table II workload descriptions
+//!   bench       engine + AES self-benchmark -> BENCH_harness.json
 //!   ablation-ott / ablation-osiris / ablation-direct / ablation-partition
-//!   all         everything above (slow)
+//!   all         everything above except bench (slow)
 //! ```
 //!
 //! `scale` in (0, 1] shrinks operation counts; default 1.0. Run with
 //! `--release`.
+//!
+//! `--jobs N` (or the `FSENCR_JOBS` environment variable) sets how many
+//! experiment cells run concurrently; the default is the host's available
+//! parallelism. The figures are identical at any worker count — only the
+//! wall-clock changes.
+
+use std::time::{Duration, Instant};
 
 use fsencr_bench as exp;
+use fsencr_bench::report::{AesThroughput, BenchReport};
+use fsencr_crypto::{Aes128, Key128};
 use fsencr_sim::MachineConfig;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <fig3|fig8-10|fig11|fig12-14|fig15|table1|params|list|ablation-ott|ablation-osiris|ablation-direct|ablation-partition|all> [scale]"
+        "usage: harness [--jobs N] <fig3|fig8-10|fig11|fig12-14|fig15|table1|params|list|bench|ablation-ott|ablation-osiris|ablation-direct|ablation-partition|all> [scale]"
     );
     std::process::exit(2);
 }
@@ -91,13 +101,112 @@ fn list() {
     }
 }
 
+/// Measures raw single-thread AES block throughput: the T-table hot path
+/// against the byte-wise reference it replaced.
+fn aes_throughput() -> AesThroughput {
+    let aes = Aes128::new(&Key128::from_seed(0x5eed));
+    let blocks_per_sec = |f: &dyn Fn([u8; 16]) -> [u8; 16]| {
+        let mut block = [0x3cu8; 16];
+        // Warm up tables and caches.
+        for _ in 0..1_000 {
+            block = f(block);
+        }
+        let mut blocks = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < Duration::from_millis(200) {
+            for _ in 0..4_096 {
+                block = f(block);
+            }
+            blocks += 4_096;
+        }
+        // Feed the chained block back in so the loop cannot be elided.
+        std::hint::black_box(block);
+        blocks as f64 / start.elapsed().as_secs_f64()
+    };
+    AesThroughput {
+        ttable_blocks_per_sec: blocks_per_sec(&|b| aes.encrypt_block(b)),
+        reference_blocks_per_sec: blocks_per_sec(&|b| aes.encrypt_block_ref(b)),
+    }
+}
+
+/// Times one full `fig8_9_10` pass at `scale` with a fixed worker count.
+fn timed_fig8(jobs: usize, scale: f64) -> Duration {
+    exp::pool::set_jobs(jobs);
+    let start = Instant::now();
+    let (a, b, c) = exp::fig8_9_10(scale);
+    std::hint::black_box((a, b, c));
+    start.elapsed()
+}
+
+/// `harness bench`: emits `BENCH_harness.json` with the AES fast-path
+/// speedup and the serial-vs-parallel experiment-engine comparison.
+fn bench(scale: f64, jobs_flag: Option<usize>) {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let jobs = jobs_flag.unwrap_or_else(exp::pool::jobs);
+    eprintln!("[bench] AES throughput (single thread)...");
+    let aes = aes_throughput();
+    eprintln!(
+        "[bench]   ttable {:.0} blk/s, reference {:.0} blk/s, speedup {:.2}x",
+        aes.ttable_blocks_per_sec,
+        aes.reference_blocks_per_sec,
+        aes.speedup()
+    );
+    eprintln!("[bench] engine serial run (jobs=1, scale {scale})...");
+    exp::report::take_cell_records();
+    let serial_wall = timed_fig8(1, scale);
+    exp::report::take_cell_records();
+    eprintln!("[bench] engine parallel run (jobs={jobs})...");
+    let parallel_wall = timed_fig8(jobs, scale);
+    let mut cells = exp::report::take_cell_records();
+    cells.sort_by(|a, b| (&a.workload, &a.mode).cmp(&(&b.workload, &b.mode)));
+    exp::pool::set_jobs(0);
+    let report = BenchReport {
+        jobs,
+        host_parallelism: host,
+        scale,
+        aes,
+        serial_wall,
+        parallel_wall,
+        cells,
+    };
+    eprintln!(
+        "[bench]   serial {:.2?}, parallel {:.2?}, speedup {:.2}x",
+        serial_wall,
+        parallel_wall,
+        report.engine_speedup()
+    );
+    let path = "BENCH_harness.json";
+    std::fs::write(path, report.to_json()).expect("write BENCH_harness.json");
+    eprintln!("[bench] wrote {path}");
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let Some(which) = args.get(1) else { usage() };
-    let scale: f64 = args
-        .get(2)
-        .map(|s| s.parse().unwrap_or_else(|_| usage()))
-        .unwrap_or(1.0);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs_flag: Option<usize> = None;
+    // Accept `--jobs N` and `--jobs=N` anywhere on the command line.
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--jobs" {
+            let Some(v) = args.get(i + 1) else { usage() };
+            jobs_flag = Some(v.parse().unwrap_or_else(|_| usage()));
+            args.drain(i..i + 2);
+        } else if let Some(v) = args[i].strip_prefix("--jobs=") {
+            jobs_flag = Some(v.parse().unwrap_or_else(|_| usage()));
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    if let Some(n) = jobs_flag {
+        if n == 0 {
+            usage();
+        }
+        exp::pool::set_jobs(n);
+    }
+    let Some(which) = args.first() else { usage() };
+    let which = which.clone();
+    let scale_arg: Option<f64> = args.get(1).map(|s| s.parse().unwrap_or_else(|_| usage()));
+    let scale = scale_arg.unwrap_or(1.0);
     assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
 
     let t0 = std::time::Instant::now();
@@ -119,6 +228,9 @@ fn main() {
         "table1" => println!("{}", exp::table1()),
         "params" => params(),
         "list" => list(),
+        // The engine comparison runs fig8-10 twice; default to a small
+        // scale so a bare `harness bench` finishes in minutes.
+        "bench" => bench(scale_arg.unwrap_or(0.05), jobs_flag),
         "ablation-ott" => println!("{}", exp::ablation_ott(scale)),
         "ablation-osiris" => println!("{}", exp::ablation_osiris(scale)),
         "ablation-direct" => println!("{}", exp::ablation_direct(scale)),

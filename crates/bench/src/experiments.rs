@@ -1,6 +1,16 @@
 //! The experiments: one function per paper table/figure, plus ablations.
+//!
+//! Every figure decomposes into independent *cells* — one `(workload,
+//! security mode, machine config)` simulation each. The cell lists are
+//! built in deterministic source order, fanned out across worker threads
+//! (see [`crate::pool`]), and gathered back in submission order before the
+//! figure is assembled, so the output is identical to a serial run at any
+//! worker count. Each cell also records its wall-clock time with
+//! [`crate::report`] for the `harness bench` subcommand.
 
-use fsencr::machine::{Machine, MachineOpts, SecurityMode};
+use std::time::Instant;
+
+use fsencr::machine::{MachineOpts, RunStats, SecurityMode};
 use fsencr::security;
 use fsencr_crypto::Key128;
 use fsencr_fs::{GroupId, Mode, UserId};
@@ -9,29 +19,73 @@ use fsencr_workloads::driver::{run_workload, Workload};
 use fsencr_workloads::pmemkv::{DbBench, PmemKv};
 use fsencr_workloads::whisper::{CtreeBench, HashmapBench, Ycsb};
 
+use crate::pool;
+use crate::report;
 use crate::table::Figure;
+
+use fsencr::machine::Machine;
 
 fn scaled(n: u64, scale: f64) -> u64 {
     ((n as f64 * scale) as u64).max(32)
-}
-
-fn run(mode: SecurityMode, w: &mut dyn Workload) -> fsencr::machine::RunStats {
-    run_workload(MachineOpts::benchmark(), mode, w)
-        .unwrap_or_else(|e| panic!("{} under {mode}: {e}", w.name()))
-        .stats
 }
 
 fn run_with(
     opts: MachineOpts,
     mode: SecurityMode,
     w: &mut dyn Workload,
-) -> fsencr::machine::RunStats {
+) -> RunStats {
     run_workload(opts, mode, w)
         .unwrap_or_else(|e| panic!("{} under {mode}: {e}", w.name()))
         .stats
 }
 
-type Factory = Box<dyn Fn() -> Box<dyn Workload>>;
+type Factory = Box<dyn Fn() -> Box<dyn Workload> + Send + Sync>;
+
+/// One independent experiment cell.
+struct Cell<'a> {
+    /// Workload label, used for the figure row and the bench record.
+    label: String,
+    opts: MachineOpts,
+    mode: SecurityMode,
+    factory: &'a Factory,
+}
+
+/// Runs every cell (concurrently when the pool has more than one worker)
+/// and returns the stats in the cells' submission order.
+fn run_cells(cells: Vec<Cell<'_>>) -> Vec<RunStats> {
+    let tasks: Vec<_> = cells
+        .into_iter()
+        .map(|cell| {
+            move || {
+                let start = Instant::now();
+                let stats = run_with(cell.opts, cell.mode, (cell.factory)().as_mut());
+                report::record_cell(&cell.label, cell.mode, start.elapsed(), &stats);
+                stats
+            }
+        })
+        .collect();
+    pool::run_tasks(tasks)
+}
+
+/// The `workloads x modes` cross product on the benchmark machine, in
+/// workload-major order: `stats[i * modes.len() + j]` is workload `i`
+/// under mode `j`.
+fn mode_cells<'a>(
+    factories: &'a [(String, Factory)],
+    modes: &[SecurityMode],
+) -> Vec<Cell<'a>> {
+    factories
+        .iter()
+        .flat_map(|(name, factory)| {
+            modes.iter().map(move |&mode| Cell {
+                label: name.clone(),
+                opts: MachineOpts::benchmark(),
+                mode,
+                factory,
+            })
+        })
+        .collect()
+}
 
 fn whisper_factories(scale: f64) -> Vec<(String, Factory)> {
     let n = scaled(16 * 1024, scale);
@@ -105,21 +159,28 @@ fn daxmicro_factories(scale: f64) -> Vec<(String, Factory)> {
 /// Figure 3: slowdown of software filesystem encryption (eCryptfs model)
 /// over plain ext4-DAX, Whisper benchmarks.
 pub fn fig3(scale: f64) -> Figure {
+    let factories = whisper_factories(scale);
+    let stats = run_cells(mode_cells(
+        &factories,
+        &[SecurityMode::Unencrypted, SecurityMode::Software],
+    ));
     let mut fig = Figure::new(
         "Figure 3: software-encryption slowdown (normalized to ext4-dax)",
         vec!["slowdown".to_string()],
     );
-    for (name, factory) in whisper_factories(scale) {
-        let dax = run(SecurityMode::Unencrypted, factory().as_mut());
-        let soft = run(SecurityMode::Software, factory().as_mut());
-        fig.push(name, vec![soft.cycles as f64 / dax.cycles as f64]);
+    for (i, (name, _)) in factories.iter().enumerate() {
+        let dax = stats[2 * i];
+        let soft = stats[2 * i + 1];
+        fig.push(name.clone(), vec![soft.cycles as f64 / dax.cycles as f64]);
     }
     fig
 }
 
-fn normalized_figures(
+/// Assembles the slowdown / writes / reads triple from per-workload
+/// `(baseline security, FsEncr)` stat pairs.
+fn normalized_from(
     tag: &str,
-    factories: Vec<(String, Factory)>,
+    rows: Vec<(String, RunStats, RunStats)>,
 ) -> (Figure, Figure, Figure) {
     let mut slow = Figure::new(
         format!("{tag}: FsEncr slowdown (normalized to baseline security)"),
@@ -133,9 +194,7 @@ fn normalized_figures(
         format!("{tag}: NVM reads (normalized to baseline security)"),
         vec!["reads".to_string()],
     );
-    for (name, factory) in factories {
-        let base = run(SecurityMode::MemoryOnly, factory().as_mut());
-        let fse = run(SecurityMode::FsEncr, factory().as_mut());
+    for (name, base, fse) in rows {
         slow.push(name.clone(), vec![fse.cycles as f64 / base.cycles as f64]);
         writes.push(
             name.clone(),
@@ -149,6 +208,22 @@ fn normalized_figures(
     (slow, writes, reads)
 }
 
+fn normalized_figures(
+    tag: &str,
+    factories: Vec<(String, Factory)>,
+) -> (Figure, Figure, Figure) {
+    let stats = run_cells(mode_cells(
+        &factories,
+        &[SecurityMode::MemoryOnly, SecurityMode::FsEncr],
+    ));
+    let rows = factories
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| (name.clone(), stats[2 * i], stats[2 * i + 1]))
+        .collect();
+    normalized_from(tag, rows)
+}
+
 /// Figures 8, 9, 10: PMEMKV slowdown / writes / reads, FsEncr normalized
 /// to baseline security.
 pub fn fig8_9_10(scale: f64) -> (Figure, Figure, Figure) {
@@ -157,22 +232,34 @@ pub fn fig8_9_10(scale: f64) -> (Figure, Figure, Figure) {
 
 /// Figure 11 (a,b,c): Whisper slowdown / writes / reads, plus the
 /// software-encryption comparison the text quotes (98.33% overhead
-/// reduction).
+/// reduction). All four security modes run once per workload and the four
+/// figures are assembled from that single matrix.
 pub fn fig11(scale: f64) -> (Figure, Figure, Figure, Figure) {
-    let (slow, writes, reads) = normalized_figures("Figure 11 (Whisper)", whisper_factories(scale));
+    let factories = whisper_factories(scale);
+    let modes = [
+        SecurityMode::Unencrypted,
+        SecurityMode::MemoryOnly,
+        SecurityMode::FsEncr,
+        SecurityMode::Software,
+    ];
+    let stats = run_cells(mode_cells(&factories, &modes));
+    let row = |i: usize, j: usize| stats[i * modes.len() + j];
+    let rows = factories
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| (name.clone(), row(i, 1), row(i, 2)))
+        .collect();
+    let (slow, writes, reads) = normalized_from("Figure 11 (Whisper)", rows);
     let mut reduction = Figure::new(
         "Figure 11 (text): FsEncr reduction of filesystem-encryption overhead vs software [%]",
         vec!["reduction %".to_string()],
     );
-    for (name, factory) in whisper_factories(scale) {
-        let dax = run(SecurityMode::Unencrypted, factory().as_mut());
-        let base = run(SecurityMode::MemoryOnly, factory().as_mut());
-        let fse = run(SecurityMode::FsEncr, factory().as_mut());
-        let soft = run(SecurityMode::Software, factory().as_mut());
+    for (i, (name, _)) in factories.iter().enumerate() {
+        let (dax, base, fse, soft) = (row(i, 0), row(i, 1), row(i, 2), row(i, 3));
         let ov_soft = soft.cycles as f64 / dax.cycles as f64 - 1.0;
         let ov_fse = (fse.cycles as f64 / base.cycles as f64 - 1.0).max(0.0);
         let red = 100.0 * (1.0 - ov_fse / ov_soft.max(1e-9));
-        reduction.push(name, vec![red]);
+        reduction.push(name.clone(), vec![red]);
     }
     (slow, writes, reads, reduction)
 }
@@ -219,19 +306,33 @@ pub fn fig15(scale: f64) -> Figure {
             Box::new(move || Box::new(DaxStride::new(128, file, reads)) as Box<dyn Workload>),
         ),
     ];
-    for (name, factory) in workloads {
-        let mut row = Vec::new();
-        for (bytes, _) in sizes {
+    let mut cells = Vec::new();
+    for (name, factory) in &workloads {
+        for (bytes, size_name) in sizes {
             let opts = MachineOpts::benchmark();
             let opts = MachineOpts {
                 config: opts.config.with_metadata_cache_bytes(*bytes),
                 ..opts
             };
-            let base = run_with(opts, SecurityMode::MemoryOnly, factory().as_mut());
-            let fse = run_with(opts, SecurityMode::FsEncr, factory().as_mut());
+            for mode in [SecurityMode::MemoryOnly, SecurityMode::FsEncr] {
+                cells.push(Cell {
+                    label: format!("{name}/{size_name}"),
+                    opts,
+                    mode,
+                    factory,
+                });
+            }
+        }
+    }
+    let stats = run_cells(cells);
+    for (w, (name, _)) in workloads.iter().enumerate() {
+        let mut row = Vec::new();
+        for s in 0..sizes.len() {
+            let at = (w * sizes.len() + s) * 2;
+            let (base, fse) = (stats[at], stats[at + 1]);
             row.push(100.0 * (fse.cycles as f64 / base.cycles as f64 - 1.0));
         }
-        fig.push(name, row);
+        fig.push(name.clone(), row);
     }
     fig
 }
@@ -326,18 +427,30 @@ pub fn ablation_ott(scale: f64) -> Figure {
         vec!["slowdown".to_string()],
     );
     let n = scaled(8 * 1024, scale);
-    let base = {
-        let mut w = Ycsb::new(n, n, 2);
-        run(SecurityMode::MemoryOnly, &mut w)
-    };
-    for lat in [1u64, 20, 100, 400] {
+    let factory: Factory = Box::new(move || Box::new(Ycsb::new(n, n, 2)) as Box<dyn Workload>);
+    let latencies = [1u64, 20, 100, 400];
+    let mut cells = vec![Cell {
+        label: "YCSB/baseline".to_string(),
+        opts: MachineOpts::benchmark(),
+        mode: SecurityMode::MemoryOnly,
+        factory: &factory,
+    }];
+    for lat in latencies {
         let mut opts = MachineOpts::benchmark();
         opts.config.security.ott_latency_cycles = lat;
-        let mut w = Ycsb::new(n, n, 2);
-        let fse = run_with(opts, SecurityMode::FsEncr, &mut w);
+        cells.push(Cell {
+            label: format!("YCSB/ott-latency-{lat}"),
+            opts,
+            mode: SecurityMode::FsEncr,
+            factory: &factory,
+        });
+    }
+    let stats = run_cells(cells);
+    let base = stats[0];
+    for (i, lat) in latencies.iter().enumerate() {
         fig.push(
             format!("ott-latency-{lat}"),
-            vec![fse.cycles as f64 / base.cycles as f64],
+            vec![stats[i + 1].cycles as f64 / base.cycles as f64],
         );
     }
     fig
@@ -351,15 +464,30 @@ pub fn ablation_osiris(scale: f64) -> Figure {
         vec!["slowdown".to_string(), "nvm writes".to_string()],
     );
     let n = scaled(4096, scale);
-    let reference = {
-        let mut w = PmemKv::new(DbBench::Overwrite, 64, n, n, 2);
-        run(SecurityMode::FsEncr, &mut w)
-    };
-    for stop_loss in [1u32, 2, 4, 8, 16] {
+    let factory: Factory = Box::new(move || {
+        Box::new(PmemKv::new(DbBench::Overwrite, 64, n, n, 2)) as Box<dyn Workload>
+    });
+    let stop_losses = [1u32, 2, 4, 8, 16];
+    let mut cells = vec![Cell {
+        label: "Overwrite-S/reference".to_string(),
+        opts: MachineOpts::benchmark(),
+        mode: SecurityMode::FsEncr,
+        factory: &factory,
+    }];
+    for stop_loss in stop_losses {
         let mut opts = MachineOpts::benchmark();
         opts.config.security.osiris_stop_loss = stop_loss;
-        let mut w = PmemKv::new(DbBench::Overwrite, 64, n, n, 2);
-        let r = run_with(opts, SecurityMode::FsEncr, &mut w);
+        cells.push(Cell {
+            label: format!("Overwrite-S/stop-loss-{stop_loss}"),
+            opts,
+            mode: SecurityMode::FsEncr,
+            factory: &factory,
+        });
+    }
+    let stats = run_cells(cells);
+    let reference = stats[0];
+    for (i, stop_loss) in stop_losses.iter().enumerate() {
+        let r = stats[i + 1];
         fig.push(
             format!("stop-loss-{stop_loss}"),
             vec![
@@ -394,16 +522,29 @@ pub fn ablation_partition(scale: f64) -> Figure {
             Box::new(move || Box::new(DaxStride::new(128, file, reads)) as Box<dyn Workload>),
         ),
     ];
-    for (name, factory) in factories {
-        let mut row = Vec::new();
+    let mut cells = Vec::new();
+    for (name, factory) in &factories {
         for partitioned in [false, true] {
             let mut opts = MachineOpts::benchmark();
             opts.config.security.partition_metadata_cache = partitioned;
-            let base = run_with(opts, SecurityMode::MemoryOnly, factory().as_mut());
-            let fse = run_with(opts, SecurityMode::FsEncr, factory().as_mut());
-            row.push(fse.cycles as f64 / base.cycles as f64);
+            for mode in [SecurityMode::MemoryOnly, SecurityMode::FsEncr] {
+                cells.push(Cell {
+                    label: format!("{name}/partitioned-{partitioned}"),
+                    opts,
+                    mode,
+                    factory,
+                });
+            }
         }
-        fig.push(name, row);
+    }
+    let stats = run_cells(cells);
+    for (i, (name, _)) in factories.iter().enumerate() {
+        let mut row = Vec::new();
+        for p in 0..2 {
+            let at = (i * 2 + p) * 2;
+            row.push(stats[at + 1].cycles as f64 / stats[at].cycles as f64);
+        }
+        fig.push(name.clone(), row);
     }
     fig
 }
@@ -430,14 +571,34 @@ pub fn ablation_direct(scale: f64) -> Figure {
             }),
         ),
     ];
-    for (name, factory) in factories {
-        let dax = run(SecurityMode::Unencrypted, factory().as_mut());
-        let ctr = run(SecurityMode::FsEncr, factory().as_mut());
-        let mut opts = MachineOpts::benchmark();
-        opts.config.security.direct_encryption = true;
-        let direct = run_with(opts, SecurityMode::FsEncr, factory().as_mut());
+    let mut direct_opts = MachineOpts::benchmark();
+    direct_opts.config.security.direct_encryption = true;
+    let mut cells = Vec::new();
+    for (name, factory) in &factories {
+        cells.push(Cell {
+            label: name.clone(),
+            opts: MachineOpts::benchmark(),
+            mode: SecurityMode::Unencrypted,
+            factory,
+        });
+        cells.push(Cell {
+            label: name.clone(),
+            opts: MachineOpts::benchmark(),
+            mode: SecurityMode::FsEncr,
+            factory,
+        });
+        cells.push(Cell {
+            label: format!("{name}/direct"),
+            opts: direct_opts,
+            mode: SecurityMode::FsEncr,
+            factory,
+        });
+    }
+    let stats = run_cells(cells);
+    for (i, (name, _)) in factories.iter().enumerate() {
+        let (dax, ctr, direct) = (stats[3 * i], stats[3 * i + 1], stats[3 * i + 2]);
         fig.push(
-            name,
+            name.clone(),
             vec![
                 ctr.cycles as f64 / dax.cycles as f64,
                 direct.cycles as f64 / dax.cycles as f64,

@@ -15,6 +15,8 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod pool;
+pub mod report;
 pub mod shell;
 pub mod table;
 

@@ -1,0 +1,140 @@
+//! A scoped-thread pool for fanning out independent experiment cells.
+//!
+//! Every `(workload, security mode)` cell of a figure builds its own
+//! [`fsencr::machine::Machine`] and shares nothing with its neighbours, so
+//! the cells of one figure can run concurrently. [`run_tasks`] drains a
+//! task list with `jobs()` worker threads (`std::thread::scope`, no
+//! external dependencies) and returns the results **in submission order**,
+//! so figure assembly — and therefore the printed output — is identical to
+//! a serial run regardless of completion order or worker count.
+//!
+//! The worker count resolves, in priority order: [`set_jobs`] (the
+//! harness's `--jobs N` flag), the `FSENCR_JOBS` environment variable,
+//! then [`std::thread::available_parallelism`]. `1` forces fully serial
+//! execution on the calling thread.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// `0` means "not set"; resolution falls through to the environment.
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Fixes the worker count for subsequent [`run_tasks`] calls (`--jobs N`).
+/// A value of `0` clears the override.
+pub fn set_jobs(n: usize) {
+    JOBS_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The worker count [`run_tasks`] will use: [`set_jobs`] override, else
+/// `FSENCR_JOBS`, else the host's available parallelism.
+pub fn jobs() -> usize {
+    let fixed = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if fixed > 0 {
+        return fixed;
+    }
+    if let Some(n) = std::env::var("FSENCR_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs every task and returns the results in submission order.
+///
+/// Tasks are pulled from a shared queue by `jobs()` scoped worker threads
+/// (capped at the task count); with one worker the tasks run inline on the
+/// calling thread in order, which is byte-for-byte the old serial
+/// behaviour.
+///
+/// # Panics
+///
+/// A panicking task propagates its panic to the caller once the scope
+/// joins, matching the serial failure mode.
+pub fn run_tasks<T, F>(tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let workers = jobs().min(tasks.len()).max(1);
+    if workers == 1 {
+        return tasks.into_iter().map(|f| f()).collect();
+    }
+    let count = tasks.len();
+    let queue: Mutex<VecDeque<(usize, F)>> = Mutex::new(tasks.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let next = queue.lock().expect("queue poisoned").pop_front();
+                let Some((index, task)) = next else { break };
+                let value = task();
+                *slots[index].lock().expect("slot poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("every queued task stores a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `set_jobs` is process-global, so the tests that touch it share one
+    /// lock to avoid interfering with each other.
+    static JOBS_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn results_keep_submission_order() {
+        let _guard = JOBS_LOCK.lock().unwrap();
+        set_jobs(4);
+        let tasks: Vec<_> = (0..64)
+            .map(|i| {
+                move || {
+                    // Stagger completion so late submissions finish first.
+                    if i % 3 == 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                    i * 10
+                }
+            })
+            .collect();
+        let got = run_tasks(tasks);
+        set_jobs(0);
+        assert_eq!(got, (0..64).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_fallback_matches() {
+        let _guard = JOBS_LOCK.lock().unwrap();
+        set_jobs(1);
+        let got = run_tasks((0..8).map(|i| move || i + 1).collect::<Vec<_>>());
+        set_jobs(0);
+        assert_eq!(got, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn explicit_jobs_beats_environment() {
+        let _guard = JOBS_LOCK.lock().unwrap();
+        set_jobs(7);
+        assert_eq!(jobs(), 7);
+        set_jobs(0);
+        assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let got: Vec<u32> = run_tasks(Vec::<fn() -> u32>::new());
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,257 @@
+//! Wall-clock accounting for experiment cells and the `harness bench`
+//! report (`BENCH_harness.json`).
+//!
+//! Every cell the experiment engine runs (see [`crate::experiments`])
+//! records its wall-clock time and headline simulation counters here. The
+//! `harness bench` subcommand drains these records after a timed run and
+//! serializes them — together with an AES fast-path microbenchmark and the
+//! serial-vs-parallel engine comparison — as a small, dependency-free JSON
+//! document. Schema:
+//!
+//! ```json
+//! {
+//!   "schema": "fsencr-bench-harness/1",
+//!   "host_parallelism": 4,
+//!   "jobs": 4,
+//!   "scale": 0.05,
+//!   "aes": {
+//!     "ttable_blocks_per_sec": 1.0e7,
+//!     "reference_blocks_per_sec": 2.0e6,
+//!     "speedup": 5.0
+//!   },
+//!   "engine": {
+//!     "serial_wall_s": 10.0,
+//!     "parallel_wall_s": 3.0,
+//!     "speedup": 3.33,
+//!     "cells": [
+//!       {
+//!         "workload": "YCSB", "mode": "fsencr", "wall_s": 0.5,
+//!         "sim_cycles": 123, "nvm_lines": 456,
+//!         "sim_lines_per_sec": 912.0
+//!       }
+//!     ]
+//!   }
+//! }
+//! ```
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use fsencr::machine::{RunStats, SecurityMode};
+use fsencr_sim::stats::per_second;
+
+/// One completed experiment cell: a single workload × mode simulation.
+#[derive(Debug, Clone)]
+pub struct CellRecord {
+    /// Workload label (row name the figure uses).
+    pub workload: String,
+    /// Security mode the cell ran under.
+    pub mode: String,
+    /// Host wall-clock the simulation took.
+    pub wall: Duration,
+    /// Simulated cycles covered by the measurement window.
+    pub sim_cycles: u64,
+    /// Simulated NVM line transfers (reads + writes).
+    pub nvm_lines: u64,
+}
+
+impl CellRecord {
+    /// Simulated NVM lines processed per host second — the engine's
+    /// simulation throughput for this cell.
+    pub fn sim_lines_per_sec(&self) -> f64 {
+        per_second(self.nvm_lines, self.wall)
+    }
+}
+
+static RECORDS: Mutex<Vec<CellRecord>> = Mutex::new(Vec::new());
+
+/// Appends one cell record (called by the experiment engine).
+pub(crate) fn record_cell(workload: &str, mode: SecurityMode, wall: Duration, stats: &RunStats) {
+    RECORDS.lock().expect("record lock poisoned").push(CellRecord {
+        workload: workload.to_string(),
+        mode: mode.to_string(),
+        wall,
+        sim_cycles: stats.cycles,
+        nvm_lines: stats.nvm_reads + stats.nvm_writes,
+    });
+}
+
+/// Drains every cell recorded since the previous call (records are kept
+/// in completion order; sort before relying on ordering).
+pub fn take_cell_records() -> Vec<CellRecord> {
+    std::mem::take(&mut RECORDS.lock().expect("record lock poisoned"))
+}
+
+/// AES microbenchmark results: T-table hot path vs byte-wise reference.
+#[derive(Debug, Clone, Copy)]
+pub struct AesThroughput {
+    /// `Aes128::encrypt_block` blocks per second.
+    pub ttable_blocks_per_sec: f64,
+    /// `Aes128::encrypt_block_ref` blocks per second.
+    pub reference_blocks_per_sec: f64,
+}
+
+impl AesThroughput {
+    /// Fast path over reference speedup.
+    pub fn speedup(&self) -> f64 {
+        if self.reference_blocks_per_sec <= 0.0 {
+            0.0
+        } else {
+            self.ttable_blocks_per_sec / self.reference_blocks_per_sec
+        }
+    }
+}
+
+/// Everything `harness bench` measures.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Worker threads the parallel run used.
+    pub jobs: usize,
+    /// `std::thread::available_parallelism` on this host.
+    pub host_parallelism: usize,
+    /// Experiment scale the engine comparison ran at.
+    pub scale: f64,
+    /// AES fast-path microbenchmark.
+    pub aes: AesThroughput,
+    /// Wall-clock of the serial (`jobs = 1`) engine run.
+    pub serial_wall: Duration,
+    /// Wall-clock of the parallel engine run.
+    pub parallel_wall: Duration,
+    /// Per-cell records from the parallel run.
+    pub cells: Vec<CellRecord>,
+}
+
+impl BenchReport {
+    /// Serial over parallel wall-clock speedup.
+    pub fn engine_speedup(&self) -> f64 {
+        let p = self.parallel_wall.as_secs_f64();
+        if p <= 0.0 {
+            0.0
+        } else {
+            self.serial_wall.as_secs_f64() / p
+        }
+    }
+
+    /// Renders the report as the `BENCH_harness.json` document.
+    pub fn to_json(&self) -> String {
+        let mut cells = String::new();
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                cells.push_str(",\n");
+            }
+            cells.push_str(&format!(
+                "      {{\"workload\": {}, \"mode\": {}, \"wall_s\": {}, \"sim_cycles\": {}, \"nvm_lines\": {}, \"sim_lines_per_sec\": {}}}",
+                json_string(&c.workload),
+                json_string(&c.mode),
+                json_f64(c.wall.as_secs_f64()),
+                c.sim_cycles,
+                c.nvm_lines,
+                json_f64(c.sim_lines_per_sec()),
+            ));
+        }
+        format!(
+            "{{\n  \"schema\": \"fsencr-bench-harness/1\",\n  \"host_parallelism\": {},\n  \"jobs\": {},\n  \"scale\": {},\n  \"aes\": {{\n    \"ttable_blocks_per_sec\": {},\n    \"reference_blocks_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"engine\": {{\n    \"serial_wall_s\": {},\n    \"parallel_wall_s\": {},\n    \"speedup\": {},\n    \"cells\": [\n{}\n    ]\n  }}\n}}\n",
+            self.host_parallelism,
+            self.jobs,
+            json_f64(self.scale),
+            json_f64(self.aes.ttable_blocks_per_sec),
+            json_f64(self.aes.reference_blocks_per_sec),
+            json_f64(self.aes.speedup()),
+            json_f64(self.serial_wall.as_secs_f64()),
+            json_f64(self.parallel_wall.as_secs_f64()),
+            json_f64(self.engine_speedup()),
+            cells,
+        )
+    }
+}
+
+/// Formats an `f64` as a JSON number (finite; NaN/inf degrade to 0).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Enough digits to round-trip the interesting range without
+        // printing `1e20`-style exponents JSON consumers dislike least.
+        format!("{v:.6}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            jobs: 4,
+            host_parallelism: 8,
+            scale: 0.05,
+            aes: AesThroughput {
+                ttable_blocks_per_sec: 4.0e6,
+                reference_blocks_per_sec: 1.0e6,
+            },
+            serial_wall: Duration::from_millis(900),
+            parallel_wall: Duration::from_millis(300),
+            cells: vec![CellRecord {
+                workload: "YCSB \"zipf\"".to_string(),
+                mode: "fsencr".to_string(),
+                wall: Duration::from_millis(250),
+                sim_cycles: 1000,
+                nvm_lines: 500,
+            }],
+        }
+    }
+
+    #[test]
+    fn speedups_are_ratios() {
+        let r = sample_report();
+        assert!((r.aes.speedup() - 4.0).abs() < 1e-9);
+        assert!((r.engine_speedup() - 3.0).abs() < 1e-9);
+        assert_eq!(r.cells[0].sim_lines_per_sec(), 2000.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let json = sample_report().to_json();
+        assert!(json.contains("\"schema\": \"fsencr-bench-harness/1\""));
+        assert!(json.contains("\\\"zipf\\\""), "quotes must be escaped: {json}");
+        assert!(json.contains("\"speedup\": 4.000000"));
+        // Balanced braces/brackets (cheap sanity check without a parser).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn recorder_drains() {
+        // Other tests in this binary may be recording cells concurrently,
+        // so only reason about this test's own uniquely-named record.
+        let name = "recorder-drains-probe";
+        record_cell(
+            name,
+            SecurityMode::FsEncr,
+            Duration::from_millis(1),
+            &RunStats::default(),
+        );
+        let got = take_cell_records();
+        assert_eq!(got.iter().filter(|c| c.workload == name).count(), 1);
+        let again = take_cell_records();
+        assert_eq!(again.iter().filter(|c| c.workload == name).count(), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! The parallel experiment engine must be an implementation detail: the
+//! figures a run produces have to be bit-identical at any worker count.
+
+use fsencr_bench::table::Figure;
+use fsencr_bench::{fig8_9_10, pool};
+
+fn assert_bit_identical(serial: &Figure, parallel: &Figure) {
+    assert_eq!(serial.title, parallel.title);
+    assert_eq!(serial.columns, parallel.columns);
+    assert_eq!(serial.rows.len(), parallel.rows.len());
+    for ((ls, vs), (lp, vp)) in serial.rows.iter().zip(parallel.rows.iter()) {
+        assert_eq!(ls, lp, "row order must match");
+        assert_eq!(vs.len(), vp.len());
+        for (a, b) in vs.iter().zip(vp.iter()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{}/{ls}: serial {a} != parallel {b}",
+                serial.title
+            );
+        }
+    }
+    // And the rendered output — what the harness actually prints — must
+    // be byte-identical too.
+    assert_eq!(format!("{serial}"), format!("{parallel}"));
+}
+
+#[test]
+fn fig8_with_four_jobs_matches_serial_exactly() {
+    pool::set_jobs(1);
+    let (s_slow, s_writes, s_reads) = fig8_9_10(0.01);
+    pool::set_jobs(4);
+    let (p_slow, p_writes, p_reads) = fig8_9_10(0.01);
+    pool::set_jobs(0);
+    assert_bit_identical(&s_slow, &p_slow);
+    assert_bit_identical(&s_writes, &p_writes);
+    assert_bit_identical(&s_reads, &p_reads);
+}

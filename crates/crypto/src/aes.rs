@@ -3,16 +3,25 @@
 //! The S-box and its inverse are *computed* at first use (multiplicative
 //! inverse in GF(2^8) followed by the affine transform) rather than
 //! transcribed, and the whole cipher is validated against the FIPS-197
-//! appendix vectors in the test module. Performance is adequate for
-//! simulation purposes (~10 ns/block on a modern host); no table-free
+//! appendix vectors in the test module.
+//!
+//! The hot path ([`Aes128::encrypt_block`]/[`Aes128::decrypt_block`]) is
+//! a 32-bit T-table implementation: each round is 16 table lookups and a
+//! handful of XORs, with the tables derived *from the computed S-box* at
+//! first use so the algebraic derivation stays the single source of
+//! truth. The original byte-wise FIPS-197 transcription is kept as
+//! [`Aes128::encrypt_block_ref`]/[`Aes128::decrypt_block_ref`] and the
+//! two are cross-validated property-style in the test suites. No
 //! constant-time tricks are attempted because the "hardware" here is a
-//! model, not a production cipher.
+//! simulation model, not a production cipher.
 
 use std::sync::OnceLock;
 
 use crate::key::Key128;
 
 const ROUNDS: usize = 10;
+/// 32-bit round-key words (4 per round plus the whitening key).
+const RK_WORDS: usize = 4 * (ROUNDS + 1);
 
 /// The AES-128 block cipher with a precomputed key schedule.
 ///
@@ -38,6 +47,12 @@ const ROUNDS: usize = 10;
 #[derive(Clone)]
 pub struct Aes128 {
     round_keys: [[u8; 16]; ROUNDS + 1],
+    /// Big-endian packed encryption round keys for the T-table path.
+    enc_words: [u32; RK_WORDS],
+    /// Decryption round keys for the equivalent inverse cipher: the
+    /// encryption schedule reversed, with `InvMixColumns` applied to the
+    /// middle rounds.
+    dec_words: [u32; RK_WORDS],
 }
 
 impl std::fmt::Debug for Aes128 {
@@ -98,6 +113,54 @@ fn sboxes() -> &'static ([u8; 256], [u8; 256]) {
     SBOXES.get_or_init(compute_sboxes)
 }
 
+/// The 32-bit lookup tables of the T-table formulation: `te[j][x]` is
+/// column `j` of `MixColumns` applied to `SubBytes(x)`, packed big-endian
+/// (row 0 in the most significant byte); `td[j][x]` likewise for the
+/// inverse cipher. One block encryption is then 4 table lookups + 4 XORs
+/// per column per round instead of byte-wise `xtime`/`gmul` arithmetic.
+struct Tables {
+    te: [[u32; 256]; 4],
+    td: [[u32; 256]; 4],
+    sbox: [u8; 256],
+    inv_sbox: [u8; 256],
+}
+
+/// MixColumns matrix (row-major) and its inverse, from FIPS-197 5.1.3 /
+/// 5.3.3.
+const MIX: [[u8; 4]; 4] = [[2, 3, 1, 1], [1, 2, 3, 1], [1, 1, 2, 3], [3, 1, 1, 2]];
+const INV_MIX: [[u8; 4]; 4] = [
+    [0x0e, 0x0b, 0x0d, 0x09],
+    [0x09, 0x0e, 0x0b, 0x0d],
+    [0x0d, 0x09, 0x0e, 0x0b],
+    [0x0b, 0x0d, 0x09, 0x0e],
+];
+
+fn compute_tables() -> Tables {
+    let (sbox, inv_sbox) = *sboxes();
+    let mut te = [[0u32; 256]; 4];
+    let mut td = [[0u32; 256]; 4];
+    for x in 0..256usize {
+        let s = sbox[x];
+        let i = inv_sbox[x];
+        for j in 0..4 {
+            let mut e = 0u32;
+            let mut d = 0u32;
+            for (row, (m, im)) in MIX.iter().zip(INV_MIX.iter()).enumerate() {
+                e |= u32::from(gmul(s, m[j])) << (24 - 8 * row);
+                d |= u32::from(gmul(i, im[j])) << (24 - 8 * row);
+            }
+            te[j][x] = e;
+            td[j][x] = d;
+        }
+    }
+    Tables { te, td, sbox, inv_sbox }
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(compute_tables)
+}
+
 #[inline]
 fn sub(b: u8) -> u8 {
     sboxes().0[b as usize]
@@ -136,11 +199,92 @@ impl Aes128 {
                 rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
             }
         }
-        Aes128 { round_keys }
+        let enc_words = pack_words(&round_keys);
+        // Equivalent inverse cipher (FIPS-197 5.3.5): reverse the
+        // schedule and push InvMixColumns through the middle round keys
+        // so decryption rounds have the same lookup structure as
+        // encryption rounds.
+        let mut dec_keys = [[0u8; 16]; ROUNDS + 1];
+        for (r, dk) in dec_keys.iter_mut().enumerate() {
+            *dk = round_keys[ROUNDS - r];
+            if r != 0 && r != ROUNDS {
+                inv_mix_columns(dk);
+            }
+        }
+        let dec_words = pack_words(&dec_keys);
+        Aes128 { round_keys, enc_words, dec_words }
     }
 
-    /// Encrypts one 16-byte block.
+    /// Encrypts one 16-byte block (T-table fast path).
     pub fn encrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+        let t = tables();
+        let rk = &self.enc_words;
+        let mut s = [0u32; 4];
+        for (c, sc) in s.iter_mut().enumerate() {
+            *sc = u32::from_be_bytes(block[4 * c..4 * c + 4].try_into().unwrap()) ^ rk[c];
+        }
+        for round in 1..ROUNDS {
+            let base = 4 * round;
+            let mut n = [0u32; 4];
+            for (c, nc) in n.iter_mut().enumerate() {
+                // ShiftRows: row r of column c reads column (c + r) % 4.
+                *nc = t.te[0][(s[c] >> 24) as usize]
+                    ^ t.te[1][((s[(c + 1) & 3] >> 16) & 0xff) as usize]
+                    ^ t.te[2][((s[(c + 2) & 3] >> 8) & 0xff) as usize]
+                    ^ t.te[3][(s[(c + 3) & 3] & 0xff) as usize]
+                    ^ rk[base + c];
+            }
+            s = n;
+        }
+        // Final round: SubBytes + ShiftRows only (no MixColumns).
+        let mut out = [0u8; 16];
+        for (c, chunk) in out.chunks_exact_mut(4).enumerate() {
+            let w = (u32::from(t.sbox[(s[c] >> 24) as usize]) << 24)
+                | (u32::from(t.sbox[((s[(c + 1) & 3] >> 16) & 0xff) as usize]) << 16)
+                | (u32::from(t.sbox[((s[(c + 2) & 3] >> 8) & 0xff) as usize]) << 8)
+                | u32::from(t.sbox[(s[(c + 3) & 3] & 0xff) as usize]);
+            chunk.copy_from_slice(&(w ^ rk[4 * ROUNDS + c]).to_be_bytes());
+        }
+        out
+    }
+
+    /// Decrypts one 16-byte block (T-table equivalent inverse cipher).
+    pub fn decrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+        let t = tables();
+        let rk = &self.dec_words;
+        let mut s = [0u32; 4];
+        for (c, sc) in s.iter_mut().enumerate() {
+            *sc = u32::from_be_bytes(block[4 * c..4 * c + 4].try_into().unwrap()) ^ rk[c];
+        }
+        for round in 1..ROUNDS {
+            let base = 4 * round;
+            let mut n = [0u32; 4];
+            for (c, nc) in n.iter_mut().enumerate() {
+                // InvShiftRows: row r of column c reads column (c - r) % 4.
+                *nc = t.td[0][(s[c] >> 24) as usize]
+                    ^ t.td[1][((s[(c + 3) & 3] >> 16) & 0xff) as usize]
+                    ^ t.td[2][((s[(c + 2) & 3] >> 8) & 0xff) as usize]
+                    ^ t.td[3][(s[(c + 1) & 3] & 0xff) as usize]
+                    ^ rk[base + c];
+            }
+            s = n;
+        }
+        let mut out = [0u8; 16];
+        for (c, chunk) in out.chunks_exact_mut(4).enumerate() {
+            let w = (u32::from(t.inv_sbox[(s[c] >> 24) as usize]) << 24)
+                | (u32::from(t.inv_sbox[((s[(c + 3) & 3] >> 16) & 0xff) as usize]) << 16)
+                | (u32::from(t.inv_sbox[((s[(c + 2) & 3] >> 8) & 0xff) as usize]) << 8)
+                | u32::from(t.inv_sbox[(s[(c + 1) & 3] & 0xff) as usize]);
+            chunk.copy_from_slice(&(w ^ rk[4 * ROUNDS + c]).to_be_bytes());
+        }
+        out
+    }
+
+    /// Encrypts one block with the byte-wise FIPS-197 reference rounds.
+    ///
+    /// Kept as the readable specification of the cipher; the test suites
+    /// cross-validate [`Aes128::encrypt_block`] against it.
+    pub fn encrypt_block_ref(&self, block: [u8; 16]) -> [u8; 16] {
         let mut s = block;
         add_round_key(&mut s, &self.round_keys[0]);
         for round in 1..ROUNDS {
@@ -155,8 +299,8 @@ impl Aes128 {
         s
     }
 
-    /// Decrypts one 16-byte block.
-    pub fn decrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+    /// Decrypts one block with the byte-wise FIPS-197 reference rounds.
+    pub fn decrypt_block_ref(&self, block: [u8; 16]) -> [u8; 16] {
         let mut s = block;
         add_round_key(&mut s, &self.round_keys[ROUNDS]);
         inv_shift_rows(&mut s);
@@ -170,6 +314,17 @@ impl Aes128 {
         add_round_key(&mut s, &self.round_keys[0]);
         s
     }
+}
+
+/// Packs a byte round-key schedule into big-endian 32-bit column words.
+fn pack_words(keys: &[[u8; 16]; ROUNDS + 1]) -> [u32; RK_WORDS] {
+    let mut out = [0u32; RK_WORDS];
+    for (i, w) in out.iter_mut().enumerate() {
+        let k = &keys[i / 4];
+        let c = 4 * (i % 4);
+        *w = u32::from_be_bytes([k[c], k[c + 1], k[c + 2], k[c + 3]]);
+    }
+    out
 }
 
 // State is column-major as in FIPS-197: s[r + 4c] is row r, column c.
@@ -302,6 +457,60 @@ mod tests {
         let a = Aes128::new(&Key128::from_seed(1)).encrypt_block(pt);
         let b = Aes128::new(&Key128::from_seed(2)).encrypt_block(pt);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reference_matches_fips197_vectors() {
+        let key = Key128::from_bytes(hex16("2b7e151628aed2a6abf7158809cf4f3c"));
+        let pt = hex16("3243f6a8885a308d313198a2e0370734");
+        let expect = hex16("3925841d02dc09fbdc118597196a0b32");
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block_ref(pt), expect);
+        assert_eq!(aes.decrypt_block_ref(expect), pt);
+    }
+
+    #[test]
+    fn ttable_matches_reference_rounds() {
+        for seed in 0..8u64 {
+            let aes = Aes128::new(&Key128::from_seed(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+            let mut block = [0u8; 16];
+            for i in 0..64u32 {
+                for (j, b) in block.iter_mut().enumerate() {
+                    *b = (i as u8)
+                        .wrapping_mul(97)
+                        .wrapping_add((j as u8).wrapping_mul(29))
+                        .wrapping_add(seed as u8);
+                }
+                let fast = aes.encrypt_block(block);
+                assert_eq!(fast, aes.encrypt_block_ref(block));
+                assert_eq!(aes.decrypt_block(fast), aes.decrypt_block_ref(fast));
+                assert_eq!(aes.decrypt_block(fast), block);
+            }
+        }
+    }
+
+    #[test]
+    fn ttable_columns_match_mixed_sbox() {
+        // te[0][x] must equal MixColumns applied to a column whose only
+        // non-zero byte is SubBytes(x) in row 0 (and likewise per table).
+        let t = tables();
+        for x in 0..256usize {
+            for j in 0..4 {
+                let mut col = [0u8; 16];
+                col[j] = t.sbox[x];
+                mix_columns(&mut col);
+                let expect =
+                    u32::from_be_bytes([col[0], col[1], col[2], col[3]]);
+                assert_eq!(t.te[j][x], expect, "te[{j}][{x:#x}]");
+
+                let mut icol = [0u8; 16];
+                icol[j] = t.inv_sbox[x];
+                inv_mix_columns(&mut icol);
+                let iexpect =
+                    u32::from_be_bytes([icol[0], icol[1], icol[2], icol[3]]);
+                assert_eq!(t.td[j][x], iexpect, "td[{j}][{x:#x}]");
+            }
+        }
     }
 
     #[test]

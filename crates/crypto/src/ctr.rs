@@ -100,11 +100,23 @@ pub fn line_pad(key: &Key128, input: &PadInput) -> [u8; 64] {
 /// the simulator — key expansion dominates otherwise).
 pub fn line_pad_with(aes: &Aes128, input: &PadInput) -> [u8; 64] {
     let mut pad = [0u8; 64];
-    for lane in 0u8..4 {
-        let block = aes.encrypt_block(input.iv_for_lane(lane));
-        pad[16 * lane as usize..16 * (lane as usize + 1)].copy_from_slice(&block);
-    }
+    line_pad_into(aes, input, &mut pad);
     pad
+}
+
+/// Like [`line_pad_with`] but writes into a caller-owned buffer, so
+/// per-line callers can reuse one pad allocation. The IV is serialized
+/// once and only the lane bits of byte 6 change between the four blocks.
+///
+/// # Panics
+///
+/// Panics if `input.block_in_page >= 64`.
+pub fn line_pad_into(aes: &Aes128, input: &PadInput, pad: &mut [u8; 64]) {
+    let mut iv = input.iv_for_lane(0);
+    for (lane, chunk) in pad.chunks_exact_mut(16).enumerate() {
+        iv[6] = input.block_in_page | ((lane as u8) << 6);
+        chunk.copy_from_slice(&aes.encrypt_block(iv));
+    }
 }
 
 /// XORs `pad` into `data` in place — the encrypt *and* decrypt operation of
@@ -212,6 +224,19 @@ mod tests {
         let key = Key128::from_seed(55);
         let aes = Aes128::new(&key);
         assert_eq!(line_pad(&key, &sample()), line_pad_with(&aes, &sample()));
+    }
+
+    #[test]
+    fn into_variant_matches_and_overwrites() {
+        let key = Key128::from_seed(55);
+        let aes = Aes128::new(&key);
+        let mut buf = [0xAAu8; 64];
+        line_pad_into(&aes, &sample(), &mut buf);
+        assert_eq!(buf, line_pad_with(&aes, &sample()));
+        // Reuse must fully overwrite the previous contents.
+        let other = PadInput { minor: 6, ..sample() };
+        line_pad_into(&aes, &other, &mut buf);
+        assert_eq!(buf, line_pad_with(&aes, &other));
     }
 
     #[test]

@@ -34,8 +34,7 @@ use crate::key::Key128;
 pub fn pbkdf2_hmac_sha256(passphrase: &[u8], salt: &[u8], iterations: u32, out: &mut [u8]) {
     assert!(iterations > 0, "iterations must be positive");
     assert!(!out.is_empty(), "output must be non-empty");
-    let mut block_index = 1u32;
-    for chunk in out.chunks_mut(32) {
+    for (block_index, chunk) in (1u32..).zip(out.chunks_mut(32)) {
         let mut salted = Vec::with_capacity(salt.len() + 4);
         salted.extend_from_slice(salt);
         salted.extend_from_slice(&block_index.to_be_bytes());
@@ -48,7 +47,6 @@ pub fn pbkdf2_hmac_sha256(passphrase: &[u8], salt: &[u8], iterations: u32, out: 
             }
         }
         chunk.copy_from_slice(&t[..chunk.len()]);
-        block_index += 1;
     }
 }
 

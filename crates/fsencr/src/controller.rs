@@ -165,6 +165,9 @@ pub struct MemoryController {
     aes_cycles: u64,
     direct_encryption: bool,
     stop_loss: u32,
+    /// Reused pad buffer so the per-line hot path never re-serializes an
+    /// IV four times or juggles fresh 64-byte temporaries.
+    pad_scratch: [u8; LINE_BYTES],
     stats: CtrlStats,
 }
 
@@ -214,6 +217,7 @@ impl MemoryController {
             aes_cycles: cfg.aes_ns,
             direct_encryption: cfg.direct_encryption,
             stop_loss: cfg.osiris_stop_loss.max(1),
+            pad_scratch: [0u8; LINE_BYTES],
             stats: CtrlStats::default(),
         }
     }
@@ -279,12 +283,10 @@ impl MemoryController {
         self.locked
     }
 
-    fn schedule_for(&mut self, key: Key128) -> &Aes128 {
-        self.schedules.entry(key).or_insert_with(|| Aes128::new(&key))
-    }
-
-    fn mem_pad(&self, page: PageId, block: u8, mecb: &Mecb) -> [u8; LINE_BYTES] {
-        ctr::line_pad_with(
+    /// Generates `OTP_mem` for `(page, block)` into the scratch buffer and
+    /// XORs it into `data`.
+    fn xor_mem_pad(&mut self, data: &mut [u8; LINE_BYTES], page: PageId, block: u8, mecb: &Mecb) {
+        ctr::line_pad_into(
             &self.mem_aes,
             &PadInput {
                 page_id: page.get(),
@@ -293,10 +295,21 @@ impl MemoryController {
                 minor: mecb.minor(block as usize),
                 domain: PadDomain::Memory,
             },
-        )
+            &mut self.pad_scratch,
+        );
+        ctr::xor_in_place(data, &self.pad_scratch);
     }
 
-    fn file_pad(&mut self, key: Key128, page: PageId, block: u8, fecb: &Fecb) -> [u8; LINE_BYTES] {
+    /// Generates `OTP_file` under `key` into the scratch buffer and XORs
+    /// it into `data`.
+    fn xor_file_pad(
+        &mut self,
+        data: &mut [u8; LINE_BYTES],
+        key: Key128,
+        page: PageId,
+        block: u8,
+        fecb: &Fecb,
+    ) {
         let input = PadInput {
             page_id: page.get(),
             block_in_page: block,
@@ -304,7 +317,9 @@ impl MemoryController {
             minor: fecb.minor(block as usize),
             domain: PadDomain::File,
         };
-        ctr::line_pad_with(self.schedule_for(key), &input)
+        let aes = self.schedules.entry(key).or_insert_with(|| Aes128::new(&key));
+        ctr::line_pad_into(aes, &input, &mut self.pad_scratch);
+        ctr::xor_in_place(data, &self.pad_scratch);
     }
 
     /// Resolves the file key for `(gid, fid)`: OTT first, spill on miss
@@ -365,14 +380,13 @@ impl MemoryController {
         let mecb_addr = self.meta.layout().mecb_addr(page);
         let (mecb_bytes, macc) = self.meta.read_block(&mut self.nvm, now, mecb_addr)?;
         let mecb = Mecb::from_bytes(&mecb_bytes);
-        let pad_mem = self.mem_pad(page, block, &mecb);
         // Counter mode generates the pad in parallel with the data fetch;
         // the direct-encryption ablation decrypts only after both the data
         // and the counter are available.
         let t_pad_mem = macc.done + self.aes_cycles;
 
         let mut plain = cipher;
-        ctr::xor_in_place(&mut plain, &pad_mem);
+        self.xor_mem_pad(&mut plain, page, block, &mecb);
         let mut done = if self.direct_encryption {
             t_data.max(macc.done) + self.aes_cycles
         } else {
@@ -385,8 +399,7 @@ impl MemoryController {
             let (fecb_bytes, facc) = self.meta.read_block(&mut self.nvm, now, fecb_addr)?;
             let fecb = Fecb::from_bytes(&fecb_bytes);
             let (key, t_key) = self.resolve_key(facc.done, fecb.gid(), fecb.fid())?;
-            let pad_file = self.file_pad(key, page, block, &fecb);
-            ctr::xor_in_place(&mut plain, &pad_file);
+            self.xor_file_pad(&mut plain, key, page, block, &fecb);
             done = if self.direct_encryption {
                 done.max(t_key) + self.aes_cycles
             } else {
@@ -449,11 +462,10 @@ impl MemoryController {
             // the media before any line encrypted under it does.
             self.meta.persist_block(&mut self.nvm, macc.done, mecb_addr)?;
         }
-        let pad_mem = self.mem_pad(page, block, &mecb);
         let mut t_pads = macc.done + self.aes_cycles;
 
         let mut cipher = *plaintext;
-        ctr::xor_in_place(&mut cipher, &pad_mem);
+        self.xor_mem_pad(&mut cipher, page, block, &mecb);
 
         if self.file_pages.contains(&page.get()) && !self.locked {
             self.stats.file_accesses.incr();
@@ -479,8 +491,7 @@ impl MemoryController {
             if fecb_overflowed {
                 self.meta.persist_block(&mut self.nvm, facc.done, fecb_addr)?;
             }
-            let pad_file = self.file_pad(key, page, block, &fecb);
-            ctr::xor_in_place(&mut cipher, &pad_file);
+            self.xor_file_pad(&mut cipher, key, page, block, &fecb);
             t_pads = t_pads.max(facc.done + self.aes_cycles);
         }
 
@@ -500,8 +511,8 @@ impl MemoryController {
             let block = line.block_in_page();
             let (cipher, t_read) = self.nvm.read_line(t, PhysAddr::new(line.get()));
             let mut data = cipher;
-            ctr::xor_in_place(&mut data, &self.mem_pad(page, block, old));
-            ctr::xor_in_place(&mut data, &self.mem_pad(page, block, &new));
+            self.xor_mem_pad(&mut data, page, block, old);
+            self.xor_mem_pad(&mut data, page, block, &new);
             t = self.nvm.write_line(t_read, PhysAddr::new(line.get()), &data);
         }
         Ok(t + self.aes_cycles)
@@ -523,8 +534,8 @@ impl MemoryController {
             let block = line.block_in_page();
             let (cipher, t_read) = self.nvm.read_line(t, PhysAddr::new(line.get()));
             let mut data = cipher;
-            ctr::xor_in_place(&mut data, &self.file_pad(key, page, block, old));
-            ctr::xor_in_place(&mut data, &self.file_pad(key, page, block, &new));
+            self.xor_file_pad(&mut data, key, page, block, old);
+            self.xor_file_pad(&mut data, key, page, block, &new);
             t = self.nvm.write_line(t_read, PhysAddr::new(line.get()), &data);
         }
         Ok(t + self.aes_cycles)
@@ -667,7 +678,7 @@ impl MemoryController {
         for line in self.tagged_data_lines() {
             pages.entry(line.page().get()).or_default().push(line);
         }
-        let layout = self.meta.layout().clone();
+        let layout = self.meta.shared_layout();
         for (page_no, lines) in pages {
             let page = PageId::new(page_no);
             let mecb_raw = self.nvm.peek_line(PhysAddr::new(layout.mecb_addr(page).get()));
@@ -735,13 +746,12 @@ impl MemoryController {
                         let mut cand = Mecb::new();
                         cand.set(mecb.major() + m_bump as u64, block, m_minor);
                         let mut plain = cipher;
-                        ctr::xor_in_place(&mut plain, &self.mem_pad(page, block as u8, &cand));
+                        self.xor_mem_pad(&mut plain, page, block as u8, &cand);
                         if is_file {
                             let Some(k) = key else { continue };
                             let mut fcand = Fecb::new(fecb.gid(), fecb.fid());
                             fcand.set(fecb.major() + f_bump as u32, block, f_minor);
-                            let pad = self.file_pad(k, page, block as u8, &fcand);
-                            ctr::xor_in_place(&mut plain, &pad);
+                            self.xor_file_pad(&mut plain, k, page, block as u8, &fcand);
                         }
                         if self.ecc.check(line, &plain) {
                             let delta_m = if m_bump {
@@ -825,13 +835,12 @@ impl MemoryController {
                     let mut cipher = f.plain;
                     let mut cand = Mecb::new();
                     cand.set(final_mecb.major(), f.block, final_mecb.minor(f.block));
-                    ctr::xor_in_place(&mut cipher, &self.mem_pad(page, f.block as u8, &cand));
+                    self.xor_mem_pad(&mut cipher, page, f.block as u8, &cand);
                     if is_file {
                         if let Some(k) = key {
                             let mut fcand = Fecb::new(fecb.gid(), fecb.fid());
                             fcand.set(final_fecb.major(), f.block, final_fecb.minor(f.block));
-                            let pad = self.file_pad(k, page, f.block as u8, &fcand);
-                            ctr::xor_in_place(&mut cipher, &pad);
+                            self.xor_file_pad(&mut cipher, k, page, f.block as u8, &fcand);
                         }
                     }
                     self.nvm.poke_line(PhysAddr::new(f.line.get()), &cipher);
@@ -911,7 +920,7 @@ impl MemoryController {
             }));
         }
         // Re-derive the DF designations from the on-media FECB stamps.
-        let layout = ctrl.meta.layout().clone();
+        let layout = ctrl.meta.shared_layout();
         let frames: Vec<u64> = ctrl.nvm.storage().frames().collect();
         for frame in frames {
             let byte = frame * fsencr_nvm::PAGE_BYTES as u64;

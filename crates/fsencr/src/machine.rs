@@ -306,6 +306,18 @@ impl Machine {
             ott_key,
             nvm,
         );
+        Machine::assemble(mode, opts, ctrl, mem_key)
+    }
+
+    /// Shared constructor body for [`Machine::new`] and
+    /// [`Machine::import_module`]: formats a fresh filesystem and starts
+    /// every volatile structure (caches, TLBs, page table, clocks) blank.
+    fn assemble(
+        mode: SecurityMode,
+        opts: MachineOpts,
+        ctrl: MemoryController,
+        mem_key: Key128,
+    ) -> Self {
         assert!(
             opts.pmem_bytes / PAGE_BYTES as u64 > FS_META_PAGES,
             "DAX region too small for the filesystem metadata area"
@@ -1354,6 +1366,7 @@ impl Machine {
     /// # Errors
     ///
     /// Filesystem or memory-path failures.
+    #[allow(clippy::too_many_arguments)] // mirrors the full open()+create() surface
     pub fn copy_file(
         &mut self,
         core: usize,
@@ -1429,37 +1442,9 @@ impl Machine {
             module.nvm,
             module.ecc,
         )?;
-        let cores = opts.config.cpu.cores;
-        // Placeholder filesystem; the real state is mounted from the
-        // on-media image below.
-        let placeholder = DaxFs::format(
-            opts.general_bytes / PAGE_BYTES as u64 + FS_META_PAGES,
-            opts.pmem_bytes / PAGE_BYTES as u64 - FS_META_PAGES,
-            opts.seed,
-        );
-        let mut machine = Machine {
-            mode: SecurityMode::FsEncr,
-            opts,
-            hier: Hierarchy::new(&opts.config.cpu),
-            ctrl,
-            fs: placeholder,
-            pt: PageTable::new(),
-            mappings: HashMap::new(),
-            next_map: 1,
-            clocks: vec![Cycle::ZERO; cores],
-            heap_next: PAGE_BYTES as u64,
-            page_cache: PageCacheModel::new(opts.softencr.page_cache_pages),
-            soft_cfg: opts.softencr,
-            pc_frames: HashMap::new(),
-            pc_free: Vec::new(),
-            sw_valid: std::collections::HashSet::new(),
-            sw_schedules: HashMap::new(),
-            mem_key: envelope.mem_key,
-            journal_cursor: 0,
-            tlbs: (0..cores).map(|_| Tlb::new(TLB_ENTRIES)).collect(),
-            tracer: Tracer::new(),
-            measure_start: Cycle::ZERO,
-        };
+        // `assemble` formats a placeholder filesystem; the real state is
+        // mounted from the on-media image below.
+        let mut machine = Machine::assemble(SecurityMode::FsEncr, opts, ctrl, envelope.mem_key);
         machine.mount_fs(0)?;
         Ok(machine)
     }

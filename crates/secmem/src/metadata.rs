@@ -161,7 +161,9 @@ impl MetaCaches {
 /// The metadata cache + Merkle engine + Osiris persistence state.
 #[derive(Debug, Clone)]
 pub struct MetadataSystem {
-    layout: MetadataLayout,
+    /// Shared so controllers can hold a handle across `&mut self` calls
+    /// without deep-copying the per-level geometry tables.
+    layout: std::sync::Arc<MetadataLayout>,
     cache: MetaCaches,
     root: [u8; 8],
     /// Canonical all-zero node content per level.
@@ -210,7 +212,7 @@ impl MetadataSystem {
             MetaCaches::Unified(Cache::new(cfg.metadata_cache))
         };
         MetadataSystem {
-            layout,
+            layout: std::sync::Arc::new(layout),
             cache,
             root,
             canon_nodes,
@@ -226,6 +228,13 @@ impl MetadataSystem {
     /// The layout this system manages.
     pub fn layout(&self) -> &MetadataLayout {
         &self.layout
+    }
+
+    /// A shared handle to the layout, for callers that need to keep using
+    /// it while mutably borrowing the system (refcount bump, no copy of
+    /// the geometry tables).
+    pub fn shared_layout(&self) -> std::sync::Arc<MetadataLayout> {
+        std::sync::Arc::clone(&self.layout)
     }
 
     /// The current on-chip root digest.
@@ -258,7 +267,7 @@ impl MetadataSystem {
         let base = self.layout.meta_base();
         let counters_end = base + self.layout.data_bytes() / 4096 * 128;
         if addr.get() >= base && addr.get() < counters_end {
-            if (addr.get() - base) % 128 == 0 {
+            if (addr.get() - base).is_multiple_of(128) {
                 MetaKind::Mecb
             } else {
                 MetaKind::Fecb

@@ -227,9 +227,9 @@ impl Workload for PmemKv {
             DbBench::ReadSeq => {
                 // Each thread scans its shard once (or until the op budget).
                 let budget = self.ops_per_thread;
-                for t in 0..self.threads {
+                for (t, tree) in trees.iter().enumerate().take(self.threads) {
                     let mut left = budget;
-                    trees[t].scan(m, t, |_k, _v| {
+                    tree.scan(m, t, |_k, _v| {
                         left = left.saturating_sub(1);
                     })?;
                     m.advance(t, OP_COMPUTE_CYCLES * budget.saturating_sub(left));

@@ -107,7 +107,7 @@ impl Workload for Ycsb {
             // under software encryption every operation traverses the
             // syscall + stacked-VFS path, and committed updates msync.
             m.syscall_overhead(w);
-            let key = zipfs[w].next() + 1;
+            let key = zipfs[w].sample() + 1;
             if coins[w].next_f64() < 0.5 {
                 let found = tables[w].get(m, w, key, &mut buf)?;
                 debug_assert!(found);
@@ -193,7 +193,7 @@ impl Workload for HashmapBench {
             if inserted[t] == 0 || rngs[t].next_f64() < 0.5 {
                 inserted[t] += 1;
                 tables[t].put(m, t, inserted[t], &[inserted[t] as u8; VALUE_BYTES])?;
-                if inserted[t] % MSYNC_BATCH == 0 {
+                if inserted[t].is_multiple_of(MSYNC_BATCH) {
                     m.msync(t, tables[t].map_id(), 0, 0)?;
                 }
                 Ok(())
@@ -276,7 +276,7 @@ impl Workload for CtreeBench {
                 let key = rngs[t].next_u64() | 1;
                 keys[t].push(key);
                 trees[t].put(m, t, key, &[key as u8; VALUE_BYTES])?;
-                if keys[t].len() as u64 % MSYNC_BATCH == 0 {
+                if (keys[t].len() as u64).is_multiple_of(MSYNC_BATCH) {
                     m.msync(t, trees[t].map_id(), 0, 0)?;
                 }
                 Ok(())

@@ -14,7 +14,7 @@ use fsencr_sim::SplitMix64;
 /// use fsencr_workloads::Zipfian;
 ///
 /// let mut z = Zipfian::new(1000, 0.99, 42);
-/// let x = z.next();
+/// let x = z.sample();
 /// assert!(x < 1000);
 /// ```
 #[derive(Debug, Clone)]
@@ -65,7 +65,7 @@ impl Zipfian {
     }
 
     /// Draws the next zipfian value in `[0, n)` (0 is the hottest).
-    pub fn next(&mut self) -> u64 {
+    pub fn sample(&mut self) -> u64 {
         let u = self.rng.next_f64();
         let uz = u * self.zetan;
         if uz < 1.0 {
@@ -92,7 +92,7 @@ mod tests {
     fn values_in_range() {
         let mut z = Zipfian::new(100, 0.99, 1);
         for _ in 0..10_000 {
-            assert!(z.next() < 100);
+            assert!(z.sample() < 100);
         }
     }
 
@@ -101,7 +101,7 @@ mod tests {
         let mut z = Zipfian::new(1000, 0.99, 7);
         let mut counts = vec![0u64; 1000];
         for _ in 0..100_000 {
-            counts[z.next() as usize] += 1;
+            counts[z.sample() as usize] += 1;
         }
         // Head must dominate the tail.
         let head: u64 = counts[..10].iter().sum();
@@ -125,7 +125,7 @@ mod tests {
         let mut a = Zipfian::new(50, 0.9, 3);
         let mut b = Zipfian::new(50, 0.9, 3);
         for _ in 0..100 {
-            assert_eq!(a.next(), b.next());
+            assert_eq!(a.sample(), b.sample());
         }
     }
 

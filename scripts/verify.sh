@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Tier-1 verification: everything a change must pass before merging.
+# Works fully offline — the workspace has no registry dependencies.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> verify OK"
