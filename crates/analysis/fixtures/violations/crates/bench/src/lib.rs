@@ -1,0 +1,27 @@
+#![forbid(unsafe_code)]
+//! Seeded-violation fixture: a fake figure-producing crate that trips
+//! every `nondeterminism` sub-rule. Never compiled.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::{Instant, SystemTime};
+
+pub fn figure_cell() -> u64 {
+    let started = Instant::now();
+    let wall = SystemTime::now();
+    let worker = std::thread::current();
+    let mut table: HashMap<u64, u64> = HashMap::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    std::thread::sleep(std::time::Duration::from_micros(1));
+    table.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_time_things() {
+        let _ = Instant::now();
+    }
+}

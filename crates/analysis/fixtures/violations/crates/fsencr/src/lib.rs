@@ -1,0 +1,28 @@
+//! Seeded-violation fixture for the analysis self-test: a fake hot-path
+//! crate root that trips `forbid-unsafe`, `no-panic` and `lossy-cast`.
+//! This file is never compiled; it only feeds the lint lexer.
+//! A doc-comment x.unwrap() here must NOT be flagged.
+
+pub fn hot_path(opt: Option<u64>, addr: u64, counter: Counter) -> u32 {
+    let value = opt.unwrap();
+    let label = opt.expect("counter missing");
+    if value == 0 {
+        panic!("zero counter");
+    }
+    let narrowed = addr as u32;
+    let minor = counter.get() as u8;
+    let fine = "a string containing unwrap() and panic!()";
+    let also_fine = value.checked_add(1).unwrap_or(0);
+    let widening_is_fine = minor as u64;
+    narrowed
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        Some(1u32).unwrap();
+        panic!("allowed in tests");
+        let t = addr as u32;
+    }
+}

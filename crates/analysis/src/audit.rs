@@ -1,0 +1,135 @@
+//! The deterministic concurrency audit.
+//!
+//! The experiment engine fans `(workload, security mode)` cells out over
+//! a worker pool; the paper figures must not depend on worker count or
+//! on which worker picked up which cell. This audit replays figure
+//! cells under every adversarial-but-reproducible queue schedule the
+//! pool supports ([`fsencr_bench::pool::Schedule`]) at several worker
+//! counts and compares the *rendered figure bytes* against a serial
+//! FIFO baseline. Any divergence — a lost cell, a reordered row, a
+//! float that picked up scheduling noise — is reported as a finding
+//! with the first differing byte offset.
+//!
+//! Unlike a sanitizer this needs no special toolchain and is fully
+//! deterministic: the schedules permute pick-up order and perturb
+//! completion order without randomness, so a failure replays exactly.
+
+use fsencr_bench::pool::{self, Schedule};
+use fsencr_bench::{fig11, fig12_13_14, fig15, fig3, fig8_9_10};
+
+use crate::Finding;
+
+/// Workload scale for audit runs — the same small scale the bench
+/// crate's own determinism tests use.
+const SCALE: f64 = 0.01;
+
+/// Adversarial (worker count, schedule) variants compared against the
+/// serial FIFO baseline.
+const VARIANTS: [(usize, Schedule); 4] = [
+    (2, Schedule::Lifo),
+    (3, Schedule::EvenOdd),
+    (4, Schedule::Stagger),
+    (4, Schedule::Fifo),
+];
+
+type Render = fn() -> String;
+
+fn render_fig3() -> String {
+    format!("{}", fig3(SCALE))
+}
+
+fn render_fig8_9_10() -> String {
+    let (a, b, c) = fig8_9_10(SCALE);
+    format!("{a}\n{b}\n{c}")
+}
+
+fn render_fig11() -> String {
+    let (a, b, c, d) = fig11(SCALE);
+    format!("{a}\n{b}\n{c}\n{d}")
+}
+
+fn render_fig12_13_14() -> String {
+    let (a, b, c) = fig12_13_14(SCALE);
+    format!("{a}\n{b}\n{c}")
+}
+
+fn render_fig15() -> String {
+    format!("{}", fig15(SCALE))
+}
+
+/// The audited figure set: `full` extends the quick pair to every
+/// scalable figure of the harness.
+fn cases(full: bool) -> Vec<(&'static str, Render)> {
+    let mut cases: Vec<(&'static str, Render)> = vec![
+        ("fig3", render_fig3),
+        ("fig8-10", render_fig8_9_10),
+    ];
+    if full {
+        cases.push(("fig11", render_fig11));
+        cases.push(("fig12-14", render_fig12_13_14));
+        cases.push(("fig15", render_fig15));
+    }
+    cases
+}
+
+fn first_divergence(a: &str, b: &str) -> usize {
+    a.bytes()
+        .zip(b.bytes())
+        .position(|(x, y)| x != y)
+        .unwrap_or_else(|| a.len().min(b.len()))
+}
+
+/// Replays each audited figure under every schedule variant and returns
+/// a finding per divergence from the serial baseline. Restores the
+/// pool's production configuration before returning.
+pub fn run(full: bool) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (name, render) in cases(full) {
+        pool::set_jobs(1);
+        pool::set_schedule(Schedule::Fifo);
+        let baseline = render();
+        for (jobs, sched) in VARIANTS {
+            pool::set_jobs(jobs);
+            pool::set_schedule(sched);
+            let got = render();
+            if got != baseline {
+                findings.push(Finding {
+                    path: format!("audit:{name}"),
+                    line: 0,
+                    rule: "concurrency",
+                    message: format!(
+                        "figure bytes diverge from the serial baseline under \
+                         jobs={jobs} schedule={sched:?} (lengths {} vs {}, first \
+                         difference at byte {})",
+                        baseline.len(),
+                        got.len(),
+                        first_divergence(&baseline, &got),
+                    ),
+                });
+            }
+        }
+    }
+    pool::set_jobs(0);
+    pool::set_schedule(Schedule::Fifo);
+    findings.sort();
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_is_schedule_invariant() {
+        pool::set_jobs(1);
+        pool::set_schedule(Schedule::Fifo);
+        let baseline = render_fig3();
+        for (jobs, sched) in VARIANTS {
+            pool::set_jobs(jobs);
+            pool::set_schedule(sched);
+            assert_eq!(render_fig3(), baseline, "jobs={jobs} {sched:?}");
+        }
+        pool::set_jobs(0);
+        pool::set_schedule(Schedule::Fifo);
+    }
+}

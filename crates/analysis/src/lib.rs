@@ -1,0 +1,65 @@
+//! The FsEncr workspace's in-tree static analysis gate.
+//!
+//! `cargo run -p analysis -- check` is a tier-1 gate (wired into
+//! `scripts/verify.sh`) with three passes, none of which need anything
+//! outside this offline workspace:
+//!
+//! * [`lint`] — a custom lint pass over every workspace source file,
+//!   driven by the tiny Rust [`lexer`] in this crate: no
+//!   `unwrap`/`expect`/`panic!` in non-test code of the hot-path crates,
+//!   no lossy `as` casts on counter/address-width integers, no
+//!   nondeterminism sources in the figure-producing crates, and
+//!   `#![forbid(unsafe_code)]` in every crate root. Audited exceptions
+//!   live in the checked-in `allowlist.txt`.
+//! * [`layout_check`] — re-derives the MECB/FECB/OTT-spill/Merkle
+//!   geometry from the live `fsencr_secmem` and `fsencr` crates and
+//!   compares it against the paper's values (64 B metadata lines, FECB =
+//!   18 b GID + 14 b FID + 32 b major + 64 x 7 b minors, 8-ary tree).
+//! * [`audit`] — a deterministic schedule-permutation harness that
+//!   replays experiment cells through `fsencr_bench::pool` under
+//!   adversarial worker interleavings and asserts the rendered figures
+//!   are byte-identical to a serial run.
+//!
+//! Diagnostics are sorted and fully deterministic: two runs over the same
+//! tree print byte-identical output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod layout_check;
+pub mod lexer;
+pub mod lint;
+
+/// One diagnostic. The derived `Ord` (path, then line, then rule, then
+/// message) is the stable output order of every pass.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// `/`-separated path relative to the analysis root, or a logical
+    /// area such as `layout:fecb` / `audit:fig3` for non-file findings.
+    pub path: String,
+    /// 1-based source line, or 0 when the finding has no line.
+    pub line: u32,
+    /// Stable rule identifier (`no-panic`, `lossy-cast`, …).
+    pub rule: &'static str,
+    /// Human-readable description; allowlist needles match against this.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The workspace root this crate was compiled in, for default-root runs.
+pub fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}

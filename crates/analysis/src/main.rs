@@ -1,0 +1,127 @@
+//! CLI for the static analysis gate.
+//!
+//! ```sh
+//! cargo run --release -p analysis -- check          # lint + layout + audit
+//! cargo run --release -p analysis -- lint           # lint only
+//! cargo run --release -p analysis -- layout         # invariants only
+//! cargo run --release -p analysis -- audit --full   # all scalable figures
+//! cargo run --release -p analysis -- lint --root crates/analysis/fixtures/violations
+//! ```
+//!
+//! Exit status: 0 when no findings survive the allowlist, 1 otherwise,
+//! 2 on usage errors. Output is sorted and byte-identical across runs.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+use analysis::{audit, layout_check, lint, Finding};
+
+struct Args {
+    command: String,
+    root: Option<PathBuf>,
+    full: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut command = None;
+    let mut root = None;
+    let mut full = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => {
+                let value = argv.next().ok_or("--root needs a directory")?;
+                root = Some(PathBuf::from(value));
+            }
+            "--full" => full = true,
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            cmd if command.is_none() => command = Some(cmd.to_string()),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    Ok(Args {
+        command: command.unwrap_or_else(|| "check".to_string()),
+        root,
+        full,
+    })
+}
+
+fn run_lint(root: &std::path::Path) -> (Vec<Finding>, usize) {
+    // The audited-exception list lives next to this crate for the real
+    // tree; fixture trees may carry their own at their root.
+    let candidates = [
+        root.join("crates/analysis/allowlist.txt"),
+        root.join("allowlist.txt"),
+    ];
+    let (text, path) = candidates
+        .iter()
+        .find_map(|p| {
+            std::fs::read_to_string(p)
+                .ok()
+                .map(|t| (t, p.display().to_string()))
+        })
+        .unwrap_or_default();
+    let report = lint::lint_tree(root, &text, &path);
+    (report.findings, report.suppressed)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("usage: analysis [check|lint|layout|audit] [--root DIR] [--full]");
+            std::process::exit(2);
+        }
+    };
+    let root = args.root.unwrap_or_else(analysis::workspace_root);
+
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    let mut passes = Vec::new();
+    match args.command.as_str() {
+        "lint" => {
+            let (f, s) = run_lint(&root);
+            findings.extend(f);
+            suppressed = s;
+            passes.push("lint");
+        }
+        "layout" => {
+            findings.extend(layout_check::check());
+            passes.push("layout");
+        }
+        "audit" => {
+            findings.extend(audit::run(args.full));
+            passes.push("audit");
+        }
+        "check" => {
+            let (f, s) = run_lint(&root);
+            findings.extend(f);
+            suppressed = s;
+            findings.extend(layout_check::check());
+            findings.extend(audit::run(args.full));
+            passes.extend(["lint", "layout", "audit"]);
+        }
+        other => {
+            eprintln!("error: unknown command `{other}`");
+            eprintln!("usage: analysis [check|lint|layout|audit] [--root DIR] [--full]");
+            std::process::exit(2);
+        }
+    }
+
+    findings.sort();
+    for finding in &findings {
+        println!("{finding}");
+    }
+    println!(
+        "analysis [{}]: {} finding(s), {} suppressed by allowlist",
+        passes.join("+"),
+        findings.len(),
+        suppressed
+    );
+    std::process::exit(if findings.is_empty() { 0 } else { 1 });
+}

@@ -1,0 +1,87 @@
+//! The gate must gate: these tests prove the lint pass flags every
+//! seeded violation in the fixture tree, stays quiet on the real
+//! workspace, and prints byte-identical diagnostics across runs.
+
+use std::path::{Path, PathBuf};
+
+use analysis::{layout_check, lint};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/violations")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn render(findings: &[analysis::Finding]) -> String {
+    findings
+        .iter()
+        .map(|f| format!("{f}\n"))
+        .collect::<String>()
+}
+
+#[test]
+fn fixtures_trip_every_rule() {
+    let report = lint::lint_tree(&fixture_root(), "", "");
+    let count = |rule: &str| report.findings.iter().filter(|f| f.rule == rule).count();
+
+    // crates/fsencr fixture: missing forbid, unwrap, expect, panic!,
+    // two lossy casts — and nothing from its #[cfg(test)] module,
+    // doc comments or string literals.
+    assert_eq!(count("forbid-unsafe"), 1, "{}", render(&report.findings));
+    assert_eq!(count("no-panic"), 3, "{}", render(&report.findings));
+    assert_eq!(count("lossy-cast"), 2, "{}", render(&report.findings));
+
+    // crates/bench fixture: HashMap, HashSet, Instant, SystemTime on
+    // two lines each plus one thread::current — test module exempt.
+    assert_eq!(count("nondeterminism"), 9, "{}", render(&report.findings));
+    assert_eq!(report.findings.len(), 15, "{}", render(&report.findings));
+    assert_eq!(report.suppressed, 0);
+}
+
+#[test]
+fn fixture_findings_are_allowlistable() {
+    let allow = "no-panic crates/fsencr/src/lib.rs unwrap -- fixture audit\n";
+    let report = lint::lint_tree(&fixture_root(), allow, "allowlist.txt");
+    assert_eq!(report.suppressed, 1);
+    assert!(!report
+        .findings
+        .iter()
+        .any(|f| f.rule == "no-panic" && f.message.contains("unwrap")));
+    // A stale entry must itself become a finding.
+    let stale = "no-panic crates/fsencr/src/lib.rs never-matches -- stale\n";
+    let report = lint::lint_tree(&fixture_root(), stale, "allowlist.txt");
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == "allowlist-unused"));
+}
+
+#[test]
+fn diagnostics_are_byte_identical_across_runs() {
+    let a = render(&lint::lint_tree(&fixture_root(), "", "").findings);
+    let b = render(&lint::lint_tree(&fixture_root(), "", "").findings);
+    assert!(!a.is_empty());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn real_tree_lints_clean_with_the_checked_in_allowlist() {
+    let root = workspace_root();
+    let allowlist_path = root.join("crates/analysis/allowlist.txt");
+    let text = std::fs::read_to_string(&allowlist_path).expect("allowlist readable");
+    let report = lint::lint_tree(&root, &text, "crates/analysis/allowlist.txt");
+    assert!(
+        report.findings.is_empty(),
+        "the workspace must lint clean:\n{}",
+        render(&report.findings)
+    );
+    assert!(report.suppressed > 0, "allowlist should be exercised");
+}
+
+#[test]
+fn real_tree_satisfies_layout_invariants() {
+    let findings = layout_check::check();
+    assert!(findings.is_empty(), "{}", render(&findings));
+}

@@ -25,6 +25,8 @@
 //! parallelism. The figures are identical at any worker count — only the
 //! wall-clock changes.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 use fsencr_bench as exp;

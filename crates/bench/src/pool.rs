@@ -20,6 +20,53 @@ use std::sync::Mutex;
 /// `0` means "not set"; resolution falls through to the environment.
 static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
+/// Stored as `Schedule as usize`; `Fifo` (0) is the production default.
+static SCHEDULE: AtomicUsize = AtomicUsize::new(0);
+
+/// Deterministic orders in which the worker pool drains its task queue.
+///
+/// Figure output must not depend on which worker runs which cell, so the
+/// concurrency audit (`cargo run -p analysis -- check`) replays the
+/// experiment engine under each of these adversarial-but-reproducible
+/// schedules and asserts byte-identical figures. `Fifo` is the normal
+/// submission order; the others permute pick-up order or perturb
+/// completion order without introducing any randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// Tasks are picked up in submission order (production behaviour).
+    #[default]
+    Fifo,
+    /// Tasks are picked up in reverse submission order.
+    Lifo,
+    /// Even-indexed tasks first, then odd-indexed ones.
+    EvenOdd,
+    /// Submission order, but each task sleeps `(index % 3) * 200 µs`
+    /// before storing its result, forcing out-of-order completion.
+    Stagger,
+}
+
+impl Schedule {
+    fn from_index(i: usize) -> Schedule {
+        match i {
+            1 => Schedule::Lifo,
+            2 => Schedule::EvenOdd,
+            3 => Schedule::Stagger,
+            _ => Schedule::Fifo,
+        }
+    }
+}
+
+/// Fixes the queue-drain order for subsequent [`run_tasks`] calls. Only
+/// the concurrency audit and tests should move this off `Fifo`.
+pub fn set_schedule(s: Schedule) {
+    SCHEDULE.store(s as usize, Ordering::Relaxed);
+}
+
+/// The schedule [`run_tasks`] will drain its queue under.
+pub fn schedule() -> Schedule {
+    Schedule::from_index(SCHEDULE.load(Ordering::Relaxed))
+}
+
 /// Fixes the worker count for subsequent [`run_tasks`] calls (`--jobs N`).
 /// A value of `0` clears the override.
 pub fn set_jobs(n: usize) {
@@ -63,8 +110,18 @@ where
     if workers == 1 {
         return tasks.into_iter().map(|f| f()).collect();
     }
+    let sched = schedule();
     let count = tasks.len();
-    let queue: Mutex<VecDeque<(usize, F)>> = Mutex::new(tasks.into_iter().enumerate().collect());
+    let mut ordered: Vec<(usize, F)> = tasks.into_iter().enumerate().collect();
+    match sched {
+        Schedule::Fifo | Schedule::Stagger => {}
+        Schedule::Lifo => ordered.reverse(),
+        Schedule::EvenOdd => {
+            let (even, odd): (Vec<_>, Vec<_>) = ordered.into_iter().partition(|(i, _)| i % 2 == 0);
+            ordered = even.into_iter().chain(odd).collect();
+        }
+    }
+    let queue: Mutex<VecDeque<(usize, F)>> = Mutex::new(ordered.into_iter().collect());
     let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..workers {
@@ -72,6 +129,9 @@ where
                 let next = queue.lock().expect("queue poisoned").pop_front();
                 let Some((index, task)) = next else { break };
                 let value = task();
+                if sched == Schedule::Stagger {
+                    std::thread::sleep(std::time::Duration::from_micros((index % 3) as u64 * 200));
+                }
                 *slots[index].lock().expect("slot poisoned") = Some(value);
             });
         }
@@ -136,5 +196,19 @@ mod tests {
     fn empty_task_list_is_fine() {
         let got: Vec<u32> = run_tasks(Vec::<fn() -> u32>::new());
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn every_schedule_keeps_submission_order() {
+        let _guard = JOBS_LOCK.lock().unwrap();
+        set_jobs(4);
+        let want: Vec<usize> = (0..33).map(|i| i * 7).collect();
+        for sched in [Schedule::Fifo, Schedule::Lifo, Schedule::EvenOdd, Schedule::Stagger] {
+            set_schedule(sched);
+            let got = run_tasks((0..33).map(|i| move || i * 7).collect::<Vec<_>>());
+            assert_eq!(got, want, "{sched:?}");
+        }
+        set_schedule(Schedule::Fifo);
+        set_jobs(0);
     }
 }

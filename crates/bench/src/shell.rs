@@ -8,13 +8,14 @@ use fsencr::machine::{Machine, MachineOpts, MapId, SecurityMode};
 use fsencr::security;
 use fsencr_fs::{AccessKind, FileHandle, GroupId, Mode, UserId};
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// The shell: a machine plus the open-file table.
+/// The shell: a machine plus the open-file table. A `BTreeMap` keeps any
+/// listing of open files in deterministic (sorted) order.
 pub struct Shell {
     machine: Machine,
-    open: HashMap<String, (FileHandle, MapId)>,
+    open: BTreeMap<String, (FileHandle, MapId)>,
 }
 
 impl std::fmt::Debug for Shell {
@@ -66,7 +67,7 @@ impl Shell {
     pub fn new(mode: SecurityMode, opts: MachineOpts) -> Self {
         Shell {
             machine: Machine::new(opts, mode),
-            open: HashMap::new(),
+            open: BTreeMap::new(),
         }
     }
 

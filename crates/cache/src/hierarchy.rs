@@ -128,26 +128,27 @@ impl Hierarchy {
         latency += self.l2[core].latency_cycles();
         let mut writebacks = Vec::new();
         if self.l2[core].lookup(addr).is_some() {
-            let ev = self.l2[core]
-                .invalidate(addr)
-                .expect("line present after hit");
-            self.insert_l1(core, addr, ev.data, ev.dirty, &mut writebacks);
-            return LoadOutcome {
-                data: Some(ev.data),
-                latency,
-                writebacks,
-            };
+            // A hit guarantees the line is still resident to invalidate.
+            if let Some(ev) = self.l2[core].invalidate(addr) {
+                self.insert_l1(core, addr, ev.data, ev.dirty, &mut writebacks);
+                return LoadOutcome {
+                    data: Some(ev.data),
+                    latency,
+                    writebacks,
+                };
+            }
         }
 
         latency += self.l3.latency_cycles();
         if self.l3.lookup(addr).is_some() {
-            let ev = self.l3.invalidate(addr).expect("line present after hit");
-            self.insert_l1(core, addr, ev.data, ev.dirty, &mut writebacks);
-            return LoadOutcome {
-                data: Some(ev.data),
-                latency,
-                writebacks,
-            };
+            if let Some(ev) = self.l3.invalidate(addr) {
+                self.insert_l1(core, addr, ev.data, ev.dirty, &mut writebacks);
+                return LoadOutcome {
+                    data: Some(ev.data),
+                    latency,
+                    writebacks,
+                };
+            }
         }
 
         // Remote snoop: another core's private cache may hold the only copy.

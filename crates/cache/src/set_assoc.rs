@@ -140,18 +140,16 @@ impl Cache {
 
         let mut victim = None;
         if set_entries.len() >= ways {
-            let (idx, _) = set_entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.lru)
-                .expect("non-empty set");
-            let evicted = set_entries.swap_remove(idx);
-            let line_no = evicted.tag * num_sets + set as u64;
-            victim = Some(Eviction {
-                addr: LineAddr::new(line_no * LINE_BYTES as u64),
-                data: evicted.data,
-                dirty: evicted.dirty,
-            });
+            // ways >= 1, so a full set always yields an LRU minimum.
+            if let Some((idx, _)) = set_entries.iter().enumerate().min_by_key(|(_, e)| e.lru) {
+                let evicted = set_entries.swap_remove(idx);
+                let line_no = evicted.tag * num_sets + set as u64;
+                victim = Some(Eviction {
+                    addr: LineAddr::new(line_no * LINE_BYTES as u64),
+                    data: evicted.data,
+                    dirty: evicted.dirty,
+                });
+            }
         }
         set_entries.push(Entry {
             tag,

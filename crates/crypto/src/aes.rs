@@ -221,7 +221,8 @@ impl Aes128 {
         let rk = &self.enc_words;
         let mut s = [0u32; 4];
         for (c, sc) in s.iter_mut().enumerate() {
-            *sc = u32::from_be_bytes(block[4 * c..4 * c + 4].try_into().unwrap()) ^ rk[c];
+            let b = [block[4 * c], block[4 * c + 1], block[4 * c + 2], block[4 * c + 3]];
+            *sc = u32::from_be_bytes(b) ^ rk[c];
         }
         for round in 1..ROUNDS {
             let base = 4 * round;
@@ -254,7 +255,8 @@ impl Aes128 {
         let rk = &self.dec_words;
         let mut s = [0u32; 4];
         for (c, sc) in s.iter_mut().enumerate() {
-            *sc = u32::from_be_bytes(block[4 * c..4 * c + 4].try_into().unwrap()) ^ rk[c];
+            let b = [block[4 * c], block[4 * c + 1], block[4 * c + 2], block[4 * c + 3]];
+            *sc = u32::from_be_bytes(b) ^ rk[c];
         }
         for round in 1..ROUNDS {
             let base = 4 * round;

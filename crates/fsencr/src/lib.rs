@@ -30,17 +30,18 @@
 //! use fsencr::{Machine, MachineOpts, SecurityMode};
 //! use fsencr_fs::{GroupId, Mode, UserId};
 //!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut m = Machine::new(MachineOpts::small_test(), SecurityMode::FsEncr);
 //! let user = UserId::new(1);
-//! let h = m
-//!     .create(user, GroupId::new(1), "data.bin", Mode::PRIVATE, Some("pw"))
-//!     .unwrap();
-//! let map = m.mmap(&h).unwrap();
-//! m.write(0, map, 0, b"hello, persistent world").unwrap();
-//! m.persist(0, map, 0, 23).unwrap();
+//! let h = m.create(user, GroupId::new(1), "data.bin", Mode::PRIVATE, Some("pw"))?;
+//! let map = m.mmap(&h)?;
+//! m.write(0, map, 0, b"hello, persistent world")?;
+//! m.persist(0, map, 0, 23)?;
 //! let mut buf = [0u8; 23];
-//! m.read(0, map, 0, &mut buf).unwrap();
+//! m.read(0, map, 0, &mut buf)?;
 //! assert_eq!(&buf, b"hello, persistent world");
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]

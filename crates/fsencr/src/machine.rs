@@ -1136,7 +1136,9 @@ impl Machine {
 
     /// Copies a file page into the page cache, decrypting in software.
     fn sw_fill_page(&mut self, core: usize, m: &Mapping, page: usize) -> Result<(), MachineError> {
-        let fek = m.fek.expect("software path requires an encrypted file");
+        let fek = m
+            .fek
+            .ok_or(MachineError::Unsupported("software fill of an unencrypted file"))?;
         let frame = self.resolve_page(core, m, page)?;
         let pc_base = self.pc_frame_for(m.ino, page);
         self.advance(core, self.soft_cfg.fill_overhead_cycles);
@@ -1167,7 +1169,9 @@ impl Machine {
 
     /// Copies a page-cache page back to the file, encrypting in software.
     fn sw_writeback_page(&mut self, core: usize, m: &Mapping, page: usize) -> Result<(), MachineError> {
-        let fek = m.fek.expect("software path requires an encrypted file");
+        let fek = m
+            .fek
+            .ok_or(MachineError::Unsupported("software writeback of an unencrypted file"))?;
         let frame = self.resolve_page(core, m, page)?;
         let Some(&pc_base) = self.pc_frames.get(&(m.ino.get(), page)) else {
             return Ok(()); // never filled: nothing to write back

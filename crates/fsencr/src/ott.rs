@@ -116,15 +116,12 @@ impl OpenTunnelTable {
         }
         let mut victim = None;
         if self.entries.len() >= self.capacity {
-            let (idx, _) = self
-                .entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.stamp)
-                .expect("table non-empty");
-            let e = self.entries.swap_remove(idx);
-            self.stats.evictions.incr();
-            victim = Some((e.gid, e.fid, e.key));
+            // capacity > 0, so a full table always yields a minimum.
+            if let Some((idx, _)) = self.entries.iter().enumerate().min_by_key(|(_, e)| e.stamp) {
+                let e = self.entries.swap_remove(idx);
+                self.stats.evictions.incr();
+                victim = Some((e.gid, e.fid, e.key));
+            }
         }
         self.entries.push(Entry {
             gid,

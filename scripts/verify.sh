@@ -14,4 +14,30 @@ cargo test -q --workspace
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> static analysis gate: cargo run -p analysis -- check"
+cargo run --release -q -p analysis -- check
+
+echo "==> static analysis self-test: lint must fail on the seeded-violation fixtures"
+if cargo run --release -q -p analysis -- lint --root crates/analysis/fixtures/violations >/dev/null 2>&1; then
+    echo "FAIL: lint pass reported the seeded-violation fixture tree as clean" >&2
+    exit 1
+fi
+
+# Optional deeper checkers: run when the toolchain supports them,
+# skip gracefully when it does not (offline container has no
+# miri/TSan components by default).
+if cargo miri --version >/dev/null 2>&1; then
+    echo "==> cargo miri test -p fsencr-bench pool (optional)"
+    cargo miri test -p fsencr-bench pool
+else
+    echo "==> miri unavailable; skipping (optional)"
+fi
+if [ "${FSENCR_TSAN:-0}" = "1" ] && rustc --print target-list >/dev/null 2>&1; then
+    echo "==> ThreadSanitizer pass (FSENCR_TSAN=1)"
+    RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -p fsencr-bench pool ||
+        echo "    TSan pass failed or nightly unavailable; non-fatal (optional)"
+else
+    echo "==> ThreadSanitizer pass skipped (set FSENCR_TSAN=1 with a nightly toolchain to enable)"
+fi
+
 echo "==> verify OK"
