@@ -1,0 +1,24 @@
+//! Seeded-violation fixture: a fake observability crate that trips both
+//! bars `obs` is held to — `nondeterminism` (its metrics land in profile
+//! bytes) and `no-panic` (its record calls sit on the datapath). The
+//! missing `#![forbid(unsafe_code)]` also trips `forbid-unsafe`. Never
+//! compiled; only feeds the lint lexer.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn record(metrics: Option<HashMap<u64, u64>>, cycle: u64) -> u32 {
+    let started = Instant::now();
+    let table = metrics.unwrap();
+    let truncated = cycle as u32;
+    truncated
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_are_exempt() {
+        let _ = std::time::Instant::now();
+        Some(1u32).unwrap();
+    }
+}

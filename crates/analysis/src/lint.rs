@@ -4,16 +4,18 @@
 //!
 //! * `no-panic` — `.unwrap()`, `.expect(…)` and `panic!(…)` are banned in
 //!   non-test code of the hot-path crates (`fsencr`, `secmem`, `crypto`,
-//!   `nvm`, `cache`): the simulated datapath must degrade into typed
-//!   errors, not abort mid-figure.
+//!   `nvm`, `cache`, `obs`): the simulated datapath must degrade into
+//!   typed errors, not abort mid-figure.
 //! * `lossy-cast` — `as {u8,u16,u32,i8,i16,i32}` applied to a
 //!   counter/address-width source (an `…addr…`/`…cycle…` identifier or a
 //!   `.get()` accessor) silently truncates 64-bit counters; hot-path
 //!   crates must use `try_from` or explicit masking instead.
 //! * `nondeterminism` — `Instant`, `SystemTime`, `HashMap`, `HashSet`
 //!   and `thread::current` are banned in the figure-producing crates
-//!   (`bench`, `sim`): figure bytes must not depend on wall-clock time,
-//!   hash-iteration order or which worker ran a cell.
+//!   (`bench`, `sim`, `obs`): figure bytes must not depend on wall-clock
+//!   time, hash-iteration order or which worker ran a cell. The `obs`
+//!   crate is held to both bars — its metrics land in profile bytes and
+//!   its record calls sit on the datapath.
 //! * `forbid-unsafe` — every crate root (`src/lib.rs`, `src/main.rs`,
 //!   `src/bin/*.rs`) must carry `#![forbid(unsafe_code)]`.
 //!
@@ -28,10 +30,10 @@ use crate::lexer::{lex, Token, TokenKind};
 use crate::Finding;
 
 /// Crates whose non-test code must be panic-free and cast-safe.
-const HOT_CRATES: [&str; 5] = ["fsencr", "secmem", "crypto", "nvm", "cache"];
+const HOT_CRATES: [&str; 6] = ["fsencr", "secmem", "crypto", "nvm", "cache", "obs"];
 
 /// Crates whose output is figure bytes and must be deterministic.
-const FIGURE_CRATES: [&str; 2] = ["bench", "sim"];
+const FIGURE_CRATES: [&str; 3] = ["bench", "sim", "obs"];
 
 /// Narrow integer targets a lossy cast can truncate into.
 const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];

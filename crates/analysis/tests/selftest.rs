@@ -27,17 +27,32 @@ fn fixtures_trip_every_rule() {
     let count = |rule: &str| report.findings.iter().filter(|f| f.rule == rule).count();
 
     // crates/fsencr fixture: missing forbid, unwrap, expect, panic!,
-    // two lossy casts — and nothing from its #[cfg(test)] module,
-    // doc comments or string literals.
-    assert_eq!(count("forbid-unsafe"), 1, "{}", render(&report.findings));
-    assert_eq!(count("no-panic"), 3, "{}", render(&report.findings));
-    assert_eq!(count("lossy-cast"), 2, "{}", render(&report.findings));
+    // two lossy casts; crates/obs fixture: missing forbid, one unwrap,
+    // one lossy cast — and nothing from #[cfg(test)] modules, doc
+    // comments or string literals.
+    assert_eq!(count("forbid-unsafe"), 2, "{}", render(&report.findings));
+    assert_eq!(count("no-panic"), 4, "{}", render(&report.findings));
+    assert_eq!(count("lossy-cast"), 3, "{}", render(&report.findings));
 
     // crates/bench fixture: HashMap, HashSet, Instant, SystemTime on
-    // two lines each plus one thread::current — test module exempt.
-    assert_eq!(count("nondeterminism"), 9, "{}", render(&report.findings));
-    assert_eq!(report.findings.len(), 15, "{}", render(&report.findings));
+    // two lines each plus one thread::current; crates/obs fixture:
+    // HashMap and Instant on two lines each — test modules exempt.
+    assert_eq!(count("nondeterminism"), 13, "{}", render(&report.findings));
+    assert_eq!(report.findings.len(), 22, "{}", render(&report.findings));
     assert_eq!(report.suppressed, 0);
+
+    // The observability crate is held to both bars: the obs fixture must
+    // appear under hot-path and figure-determinism rules alike.
+    for rule in ["no-panic", "lossy-cast", "nondeterminism", "forbid-unsafe"] {
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.rule == rule && f.path.contains("crates/obs/")),
+            "obs fixture missing under {rule}:\n{}",
+            render(&report.findings)
+        );
+    }
 }
 
 #[test]
@@ -48,7 +63,9 @@ fn fixture_findings_are_allowlistable() {
     assert!(!report
         .findings
         .iter()
-        .any(|f| f.rule == "no-panic" && f.message.contains("unwrap")));
+        .any(|f| f.rule == "no-panic"
+            && f.path.contains("crates/fsencr/")
+            && f.message.contains("unwrap")));
     // A stale entry must itself become a finding.
     let stale = "no-panic crates/fsencr/src/lib.rs never-matches -- stale\n";
     let report = lint::lint_tree(&fixture_root(), stale, "allowlist.txt");

@@ -12,7 +12,7 @@
 
 use std::io::{BufRead, Write};
 
-use fsencr::machine::{MachineOpts, SecurityMode};
+use fsencr::machine::{MachineOpts, Preset, SecurityMode};
 use fsencr_bench::shell::{Shell, ShellOutcome};
 
 fn main() {
@@ -26,9 +26,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let mut opts = MachineOpts::small_test();
-    opts.pmem_bytes = 16 << 20;
-    opts.general_bytes = 8 << 20;
+    let opts = MachineOpts::preset(Preset::SmallTest)
+        .general_bytes(8 << 20)
+        .pmem_bytes(16 << 20)
+        .build();
     let mut shell = Shell::new(mode, opts);
 
     let interactive = std::env::var_os("FSENCTL_BATCH").is_none();

@@ -13,6 +13,9 @@
 //!   params      Table III simulation parameters
 //!   list        Table II workload descriptions
 //!   bench       engine + AES self-benchmark -> BENCH_harness.json
+//!   profile <fig> [scale]
+//!               cycle-attribution profile of a figure's cells
+//!               -> stdout + PROFILE_<fig>.json + PROFILE_<fig>_trace.json
 //!   ablation-ott / ablation-osiris / ablation-direct / ablation-partition
 //!   all         everything above except bench (slow)
 //! ```
@@ -36,7 +39,7 @@ use fsencr_sim::MachineConfig;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness [--jobs N] <fig3|fig8-10|fig11|fig12-14|fig15|table1|params|list|bench|ablation-ott|ablation-osiris|ablation-direct|ablation-partition|all> [scale]"
+        "usage: harness [--jobs N] <fig3|fig8-10|fig11|fig12-14|fig15|table1|params|list|bench|ablation-ott|ablation-osiris|ablation-direct|ablation-partition|all> [scale]\n       harness [--jobs N] profile <fig3|fig8-10|fig11|fig12-14> [scale]"
     );
     std::process::exit(2);
 }
@@ -182,6 +185,23 @@ fn bench(scale: f64, jobs_flag: Option<usize>) {
     eprintln!("[bench] wrote {path}");
 }
 
+/// `harness profile <fig>`: re-runs the figure's cells with the machine
+/// observer enabled and emits the per-cell cycle-attribution breakdown,
+/// plus JSON and chrome-trace exports next to the working directory.
+fn profile(fig: &str, scale: f64) {
+    let Some(report) = exp::profile::profile(fig, scale, exp::profile::DEFAULT_SPAN_CAPACITY)
+    else {
+        eprintln!("[profile] `{fig}` has no profilable cell matrix (try fig3, fig8-10, fig11, fig12-14)");
+        std::process::exit(2);
+    };
+    print!("{}", report.render_text());
+    let json_path = format!("PROFILE_{fig}.json");
+    std::fs::write(&json_path, report.to_json()).expect("write profile json");
+    let trace_path = format!("PROFILE_{fig}_trace.json");
+    std::fs::write(&trace_path, report.to_chrome_trace()).expect("write chrome trace");
+    eprintln!("[profile] wrote {json_path} and {trace_path}");
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut jobs_flag: Option<usize> = None;
@@ -207,6 +227,19 @@ fn main() {
     }
     let Some(which) = args.first() else { usage() };
     let which = which.clone();
+    if which == "profile" {
+        let Some(fig) = args.get(1) else { usage() };
+        // Like `bench`, profiling defaults to a small scale: the span
+        // buffers make full-scale runs memory-heavy.
+        let scale: f64 = args
+            .get(2)
+            .map_or(0.05, |s| s.parse().unwrap_or_else(|_| usage()));
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let t0 = std::time::Instant::now();
+        profile(fig, scale);
+        eprintln!("[harness] completed in {:.1?}", t0.elapsed());
+        return;
+    }
     let scale_arg: Option<f64> = args.get(1).map(|s| s.parse().unwrap_or_else(|_| usage()));
     let scale = scale_arg.unwrap_or(1.0);
     assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");

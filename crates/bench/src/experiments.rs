@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 
-use fsencr::machine::{MachineOpts, RunStats, SecurityMode};
+use fsencr::machine::{MachineOpts, Preset, RunStats, SecurityMode};
 use fsencr::security;
 use fsencr_crypto::Key128;
 use fsencr_fs::{GroupId, Mode, UserId};
@@ -39,7 +39,8 @@ fn run_with(
         .stats
 }
 
-type Factory = Box<dyn Fn() -> Box<dyn Workload> + Send + Sync>;
+/// Builds a fresh workload instance per cell run.
+pub type Factory = Box<dyn Fn() -> Box<dyn Workload> + Send + Sync>;
 
 /// One independent experiment cell.
 struct Cell<'a> {
@@ -154,6 +155,65 @@ fn daxmicro_factories(scale: f64) -> Vec<(String, Factory)> {
             Box::new(move || Box::new(DaxSwap::new(128, file, swaps)) as Box<dyn Workload>),
         ),
     ]
+}
+
+/// One profilable cell: an owned `(workload, mode, config)` triple that
+/// [`crate::profile`] fans out across the pool. The factory is shared
+/// (`Arc`) because one workload row appears once per security mode.
+pub struct ProfileCellSpec {
+    /// Workload label (figure row name).
+    pub label: String,
+    /// Machine configuration for the cell.
+    pub opts: MachineOpts,
+    /// Security mode the cell runs under.
+    pub mode: SecurityMode,
+    /// Builds a fresh workload instance for the run.
+    pub factory: std::sync::Arc<Factory>,
+}
+
+/// The cell list of `fig` at `scale`, in the same deterministic
+/// workload-major order the figure itself runs them. Returns `None` for
+/// subcommands without a profilable workload/mode matrix (`table1`,
+/// `fig15`, ablations).
+pub fn profile_cells(fig: &str, scale: f64) -> Option<Vec<ProfileCellSpec>> {
+    let (factories, modes): (Vec<(String, Factory)>, Vec<SecurityMode>) = match fig {
+        "fig3" => (
+            whisper_factories(scale),
+            vec![SecurityMode::Unencrypted, SecurityMode::Software],
+        ),
+        "fig8" | "fig9" | "fig10" | "fig8-10" => (
+            pmemkv_factories(scale),
+            vec![SecurityMode::MemoryOnly, SecurityMode::FsEncr],
+        ),
+        "fig11" => (
+            whisper_factories(scale),
+            vec![
+                SecurityMode::Unencrypted,
+                SecurityMode::MemoryOnly,
+                SecurityMode::FsEncr,
+                SecurityMode::Software,
+            ],
+        ),
+        "fig12" | "fig13" | "fig14" | "fig12-14" => (
+            daxmicro_factories(scale),
+            vec![SecurityMode::MemoryOnly, SecurityMode::FsEncr],
+        ),
+        _ => return None,
+    };
+    Some(
+        factories
+            .into_iter()
+            .flat_map(|(label, factory)| {
+                let factory = std::sync::Arc::new(factory);
+                modes.iter().map(move |&mode| ProfileCellSpec {
+                    label: label.clone(),
+                    opts: MachineOpts::benchmark(),
+                    mode,
+                    factory: factory.clone(),
+                })
+            })
+            .collect(),
+    )
 }
 
 /// Figure 3: slowdown of software filesystem encryption (eCryptfs model)
@@ -309,11 +369,9 @@ pub fn fig15(scale: f64) -> Figure {
     let mut cells = Vec::new();
     for (name, factory) in &workloads {
         for (bytes, size_name) in sizes {
-            let opts = MachineOpts::benchmark();
-            let opts = MachineOpts {
-                config: opts.config.with_metadata_cache_bytes(*bytes),
-                ..opts
-            };
+            let opts = MachineOpts::preset(Preset::Paper)
+                .metadata_cache_bytes(*bytes)
+                .build();
             for mode in [SecurityMode::MemoryOnly, SecurityMode::FsEncr] {
                 cells.push(Cell {
                     label: format!("{name}/{size_name}"),
@@ -436,8 +494,7 @@ pub fn ablation_ott(scale: f64) -> Figure {
         factory: &factory,
     }];
     for lat in latencies {
-        let mut opts = MachineOpts::benchmark();
-        opts.config.security.ott_latency_cycles = lat;
+        let opts = MachineOpts::preset(Preset::Paper).ott_latency_cycles(lat).build();
         cells.push(Cell {
             label: format!("YCSB/ott-latency-{lat}"),
             opts,
@@ -475,8 +532,7 @@ pub fn ablation_osiris(scale: f64) -> Figure {
         factory: &factory,
     }];
     for stop_loss in stop_losses {
-        let mut opts = MachineOpts::benchmark();
-        opts.config.security.osiris_stop_loss = stop_loss;
+        let opts = MachineOpts::preset(Preset::Paper).osiris_stop_loss(stop_loss).build();
         cells.push(Cell {
             label: format!("Overwrite-S/stop-loss-{stop_loss}"),
             opts,
@@ -525,8 +581,9 @@ pub fn ablation_partition(scale: f64) -> Figure {
     let mut cells = Vec::new();
     for (name, factory) in &factories {
         for partitioned in [false, true] {
-            let mut opts = MachineOpts::benchmark();
-            opts.config.security.partition_metadata_cache = partitioned;
+            let opts = MachineOpts::preset(Preset::Paper)
+                .partition_metadata_cache(partitioned)
+                .build();
             for mode in [SecurityMode::MemoryOnly, SecurityMode::FsEncr] {
                 cells.push(Cell {
                     label: format!("{name}/partitioned-{partitioned}"),
@@ -571,8 +628,7 @@ pub fn ablation_direct(scale: f64) -> Figure {
             }),
         ),
     ];
-    let mut direct_opts = MachineOpts::benchmark();
-    direct_opts.config.security.direct_encryption = true;
+    let direct_opts = MachineOpts::preset(Preset::Paper).direct_encryption(true).build();
     let mut cells = Vec::new();
     for (name, factory) in &factories {
         cells.push(Cell {

@@ -16,6 +16,7 @@
 
 pub mod experiments;
 pub mod pool;
+pub mod profile;
 pub mod report;
 pub mod shell;
 pub mod table;

@@ -166,7 +166,7 @@ impl BenchReport {
 }
 
 /// Formats an `f64` as a JSON number (finite; NaN/inf degrade to 0).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         // Enough digits to round-trip the interesting range without
         // printing `1e20`-style exponents JSON consumers dislike least.
@@ -177,7 +177,7 @@ fn json_f64(v: f64) -> String {
 }
 
 /// Escapes a string as a JSON string literal.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for ch in s.chars() {

@@ -60,6 +60,8 @@ commands:
   scan <text>                                           attacker media scan
   crash | recover | flush                               lifecycle
   lock | unlock                                         file-engine auth
+  profile on [span-cap] | profile off                   cycle attribution
+  profile | profile json                                show attribution
   help | quit";
 
 impl Shell {
@@ -269,12 +271,43 @@ impl Shell {
                 "flushed".to_string()
             }
             ("lock", _) => {
-                self.machine.controller_mut().lock_file_engine();
+                self.machine.lock_file_engine();
                 "file engine locked".to_string()
             }
             ("unlock", _) => {
-                self.machine.controller_mut().unlock_file_engine();
+                self.machine.unlock_file_engine();
                 "file engine unlocked".to_string()
+            }
+            ("profile", ["on", rest @ ..]) => {
+                let cap = match rest.first() {
+                    Some(v) => parse_u64(v)? as usize,
+                    None => 4096,
+                };
+                self.machine.enable_observer(cap);
+                format!("observer enabled (span capacity {cap})")
+            }
+            ("profile", ["off"]) => {
+                self.machine.disable_observer();
+                "observer disabled".to_string()
+            }
+            ("profile", ["json"]) => self.machine.observer().to_json(),
+            ("profile", []) => {
+                let obs = self.machine.observer();
+                if !obs.is_enabled() {
+                    "observer disabled (use `profile on`)".to_string()
+                } else {
+                    let mut out = String::new();
+                    for (k, v) in obs.metrics() {
+                        let _ = writeln!(out, "{k:<32} {v}");
+                    }
+                    let _ = write!(
+                        out,
+                        "spans: {} recorded, {} dropped",
+                        obs.spans().count(),
+                        obs.spans_dropped()
+                    );
+                    out
+                }
             }
             _ => format!("unknown or malformed command: {line} (try `help`)"),
         };
@@ -377,6 +410,22 @@ mod tests {
         assert!(out(&mut sh, "unlock").contains("unlocked"));
         assert!(out(&mut sh, "frobnicate").contains("unknown"));
         assert!(matches!(sh.exec("quit"), ShellOutcome::Quit));
+    }
+
+    #[test]
+    fn profile_command_toggles_attribution() {
+        let mut sh = shell();
+        assert!(out(&mut sh, "profile").contains("disabled"));
+        assert!(out(&mut sh, "profile on 64").contains("span capacity 64"));
+        out(&mut sh, "create f 1 1 600 pw");
+        out(&mut sh, "write f 0 attribution please");
+        out(&mut sh, "persist f 0 18");
+        let text = out(&mut sh, "profile");
+        assert!(text.contains("ctrl/write/total_cycles"), "{text}");
+        assert!(text.contains("spans:"), "{text}");
+        let json = out(&mut sh, "profile json");
+        assert!(json.contains("\"metrics\""), "{json}");
+        assert!(out(&mut sh, "profile off").contains("disabled"));
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! The observability layer must be invisible: profiles are byte-identical
+//! at any worker count and under adversarial drain schedules, enabling
+//! the observer never changes simulated timing, and the snapshot API
+//! reproduces the legacy counters it replaces exactly.
+
+use fsencr::machine::{Machine, MachineOpts, SecurityMode};
+use fsencr_bench::pool::{self, Schedule};
+use fsencr_bench::profile::profile;
+use fsencr_bench::{fig8_9_10, Figure};
+use fsencr_fs::{GroupId, Mode, UserId};
+use fsencr_workloads::driver::{profile_workload, run_workload};
+use fsencr_workloads::whisper::HashmapBench;
+
+fn render_all(fig: &str) -> (String, String, String) {
+    let r = profile(fig, 0.01, 1 << 14).expect("figure must be profilable");
+    (r.render_text(), r.to_json(), r.to_chrome_trace())
+}
+
+#[test]
+fn profile_fig8_is_byte_identical_across_jobs_and_schedules() {
+    pool::set_jobs(1);
+    let reference = render_all("fig8");
+    for jobs in 2..=4 {
+        pool::set_jobs(jobs);
+        assert_eq!(render_all("fig8"), reference, "jobs={jobs}");
+    }
+    pool::set_jobs(4);
+    for sched in [Schedule::Lifo, Schedule::EvenOdd, Schedule::Stagger] {
+        pool::set_schedule(sched);
+        assert_eq!(render_all("fig8"), reference, "{sched:?}");
+    }
+    pool::set_schedule(Schedule::Fifo);
+    pool::set_jobs(0);
+}
+
+#[test]
+fn observation_does_not_perturb_simulated_timing() {
+    // The same workload with and without the observer must report
+    // bit-identical measured statistics: attribution is pure bookkeeping.
+    let plain = run_workload(
+        MachineOpts::small_test(),
+        SecurityMode::FsEncr,
+        &mut HashmapBench::new(512, 2),
+    )
+    .unwrap()
+    .stats;
+    let observed = profile_workload(
+        MachineOpts::small_test(),
+        SecurityMode::FsEncr,
+        &mut HashmapBench::new(512, 2),
+        1 << 12,
+    )
+    .unwrap();
+    let obs_stats = observed.result.stats;
+    assert_eq!(plain.cycles, obs_stats.cycles);
+    assert_eq!(plain.nvm_reads, obs_stats.nvm_reads);
+    assert_eq!(plain.nvm_writes, obs_stats.nvm_writes);
+    assert_eq!(plain.ott_hits, obs_stats.ott_hits);
+    assert_eq!(plain.ott_misses, obs_stats.ott_misses);
+    assert_eq!(plain.file_accesses, obs_stats.file_accesses);
+    assert_eq!(plain.read_p50, obs_stats.read_p50);
+    assert_eq!(plain.read_p99, obs_stats.read_p99);
+    assert_eq!(plain.meta_hit_rate.to_bits(), obs_stats.meta_hit_rate.to_bits());
+    assert_eq!(plain.tlb_hit_rate.to_bits(), obs_stats.tlb_hit_rate.to_bits());
+    // And the observer actually recorded the run.
+    assert!(observed.observer.metric("ctrl/write/total_cycles") > 0);
+}
+
+/// A profiling run between two figure runs must leave no trace: the
+/// figures (observer disabled, as always) stay byte-identical.
+#[test]
+fn figures_are_unchanged_by_an_interleaved_profile_run() {
+    let render = |f: &(Figure, Figure, Figure)| format!("{}{}{}", f.0, f.1, f.2);
+    let before = render(&fig8_9_10(0.01));
+    let _ = profile("fig8", 0.01, 1 << 12).unwrap();
+    let after = render(&fig8_9_10(0.01));
+    assert_eq!(before, after);
+}
+
+#[test]
+#[allow(deprecated)]
+fn snapshot_matches_the_legacy_counters_exactly() {
+    // Pinned workload: file creation plus a strided write/persist/read mix.
+    let mut m = Machine::new(MachineOpts::small_test(), SecurityMode::FsEncr);
+    let h = m
+        .create(UserId::new(1), GroupId::new(1), "pin", Mode::PRIVATE, Some("pw"))
+        .unwrap();
+    let map = m.mmap(&h).unwrap();
+    for i in 0..96u64 {
+        m.write(0, map, i * 4096, &[i as u8; 128]).unwrap();
+        m.persist(0, map, i * 4096, 128).unwrap();
+    }
+    let mut buf = [0u8; 128];
+    for i in 0..96u64 {
+        m.read(0, map, i * 4096, &mut buf).unwrap();
+    }
+    m.sync_cores();
+
+    let s = m.snapshot();
+    let ctrl = m.controller();
+    assert_eq!(s.reads, ctrl.stats().reads.get());
+    assert_eq!(s.writes, ctrl.stats().writes.get());
+    assert_eq!(s.file_accesses, ctrl.stats().file_accesses.get());
+    assert_eq!(s.overflow_reencryptions, ctrl.stats().overflow_reencryptions.get());
+    assert_eq!(s.shredded_pages, ctrl.stats().shredded_pages.get());
+    assert_eq!(s.ott_hits, ctrl.ott_stats().hits.get());
+    assert_eq!(s.ott_misses, ctrl.ott_stats().misses.get());
+    assert_eq!(s.ott_evictions, ctrl.ott_stats().evictions.get());
+    let meta = ctrl.meta_stats();
+    assert_eq!(s.meta_leaf_hits, meta.leaf_hits.get());
+    assert_eq!(s.meta_leaf_misses, meta.leaf_misses.get());
+    assert_eq!(s.meta_mecb_hits, meta.mecb_hits.get());
+    assert_eq!(s.meta_mecb_misses, meta.mecb_misses.get());
+    assert_eq!(s.meta_fecb_hits, meta.fecb_hits.get());
+    assert_eq!(s.meta_fecb_misses, meta.fecb_misses.get());
+    assert_eq!(s.meta_spill_hits, meta.spill_hits.get());
+    assert_eq!(s.meta_spill_misses, meta.spill_misses.get());
+    assert_eq!(s.meta_node_hits, meta.node_hits.get());
+    assert_eq!(s.meta_node_misses, meta.node_misses.get());
+    assert_eq!(s.meta_verify_climbs, meta.verify_climbs.get());
+    assert_eq!(s.meta_verify_levels, meta.verify_levels.get());
+    assert_eq!(s.meta_update_bumps, meta.update_bumps.get());
+    assert_eq!(s.meta_osiris_persists, meta.osiris_persists.get());
+    assert_eq!(
+        s.meta_hit_rate().to_bits(),
+        ctrl.meta_hit_rate().to_bits(),
+        "derived hit rate must match the legacy computation bit-for-bit"
+    );
+    // The delta of two snapshots reproduces a window the way the old
+    // reset-based measurement did: counters restart from zero.
+    let mut m2 = m;
+    m2.begin_measurement();
+    m2.write(0, map, 0, &[0xA5; 64]).unwrap();
+    m2.persist(0, map, 0, 64).unwrap();
+    m2.sync_cores();
+    let d = m2.measurement_snapshot();
+    assert!(d.writes >= 1 && d.writes < 16, "window isolates the tail: {}", d.writes);
+    assert!(d.cycles > 0 && d.cycles < m2.snapshot().cycles);
+}

@@ -21,6 +21,10 @@ pub struct CacheStats {
     pub hits: Counter,
     /// Lookups that did not.
     pub misses: Counter,
+    /// Lines newly installed by [`Cache::insert`].
+    pub fills: Counter,
+    /// Victims pushed out to make room for a fill.
+    pub evictions: Counter,
 }
 
 impl CacheStats {
@@ -122,7 +126,8 @@ impl Cache {
     }
 
     /// Inserts (or overwrites) a line, returning the victim if one had to
-    /// be evicted. Does not touch hit/miss statistics.
+    /// be evicted. Does not touch hit/miss statistics, but counts fills
+    /// and evictions.
     pub fn insert(&mut self, addr: LineAddr, data: [u8; LINE_BYTES], dirty: bool) -> Option<Eviction> {
         let (set, tag) = self.index_of(addr);
         self.stamp += 1;
@@ -149,6 +154,7 @@ impl Cache {
                     data: evicted.data,
                     dirty: evicted.dirty,
                 });
+                self.stats.evictions.incr();
             }
         }
         set_entries.push(Entry {
@@ -157,6 +163,7 @@ impl Cache {
             dirty,
             lru: stamp,
         });
+        self.stats.fills.incr();
         victim
     }
 
@@ -371,6 +378,20 @@ mod tests {
         // line 0 is still LRU, so it gets evicted
         let victim = c.insert(line(4), [4u8; 64], false).unwrap();
         assert_eq!(victim.addr, line(0));
+    }
+
+    #[test]
+    fn fills_and_evictions_are_counted() {
+        let mut c = small();
+        c.insert(line(0), [0u8; 64], false);
+        c.insert(line(2), [2u8; 64], false);
+        // Overwrite of a resident line is not a new fill.
+        c.insert(line(0), [9u8; 64], false);
+        assert_eq!(c.stats().fills.get(), 2);
+        assert_eq!(c.stats().evictions.get(), 0);
+        c.insert(line(4), [4u8; 64], false);
+        assert_eq!(c.stats().fills.get(), 3);
+        assert_eq!(c.stats().evictions.get(), 1);
     }
 
     #[test]

@@ -33,10 +33,12 @@ use std::collections::{HashMap, HashSet};
 
 use fsencr_crypto::{ctr, Aes128, Key128, PadDomain, PadInput};
 use fsencr_nvm::{LineAddr, NvmDevice, PageId, PhysAddr, LINE_BYTES};
+use fsencr_obs::Observer;
 use fsencr_secmem::{EccStore, Fecb, Mecb, MetadataLayout, MetadataSystem, TamperError};
 use fsencr_sim::{config::SecurityConfig, Counter, Cycle, Histogram, StatSource};
 
 use crate::ott::OpenTunnelTable;
+use crate::snapshot::StatsSnapshot;
 use crate::spill::{OttSpill, SpillError};
 
 /// Errors surfaced by the memory datapath.
@@ -169,6 +171,8 @@ pub struct MemoryController {
     /// IV four times or juggles fresh 64-byte temporaries.
     pad_scratch: [u8; LINE_BYTES],
     stats: CtrlStats,
+    /// Cycle-attribution observer; disabled (one-branch cost) by default.
+    obs: Observer,
 }
 
 impl std::fmt::Debug for MemoryController {
@@ -219,6 +223,7 @@ impl MemoryController {
             stop_loss: cfg.osiris_stop_loss.max(1),
             pad_scratch: [0u8; LINE_BYTES],
             stats: CtrlStats::default(),
+            obs: Observer::disabled(),
         }
     }
 
@@ -227,33 +232,108 @@ impl MemoryController {
         &self.nvm
     }
 
-    /// Mutable device access for crash-injection fixtures and attackers.
-    pub fn nvm_mut(&mut self) -> &mut NvmDevice {
+    /// Raw mutable device access. Debug/attack surface only — production
+    /// callers go through the datapath; tests and attack fixtures that
+    /// need to corrupt media directly reach for this, visibly.
+    pub fn debug_nvm_mut(&mut self) -> &mut NvmDevice {
         &mut self.nvm
     }
 
+    /// One coherent copy of every datapath counter (controller, OTT,
+    /// metadata system, NVM). Machine-level fields (`cycles`, `tlb_*`)
+    /// are left at zero; [`crate::machine::Machine::snapshot`] fills
+    /// them. Diff two snapshots with [`StatsSnapshot::delta`] for
+    /// reset-free window measurement.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let meta = self.meta.stats();
+        let ott = self.ott.stats();
+        let nvm = self.nvm.stats();
+        let (meta_cache_hits, meta_cache_misses) = self.meta.cache_counts();
+        StatsSnapshot {
+            reads: self.stats.reads.get(),
+            writes: self.stats.writes.get(),
+            file_accesses: self.stats.file_accesses.get(),
+            overflow_reencryptions: self.stats.overflow_reencryptions.get(),
+            shredded_pages: self.stats.shredded_pages.get(),
+            read_latency: self.stats.read_latency,
+            ott_hits: ott.hits.get(),
+            ott_misses: ott.misses.get(),
+            ott_evictions: ott.evictions.get(),
+            meta_cache_hits,
+            meta_cache_misses,
+            meta_leaf_hits: meta.leaf_hits.get(),
+            meta_leaf_misses: meta.leaf_misses.get(),
+            meta_node_fetches: meta.node_fetches.get(),
+            meta_evict_writebacks: meta.evict_writebacks.get(),
+            meta_osiris_persists: meta.osiris_persists.get(),
+            meta_mecb_hits: meta.mecb_hits.get(),
+            meta_mecb_misses: meta.mecb_misses.get(),
+            meta_fecb_hits: meta.fecb_hits.get(),
+            meta_fecb_misses: meta.fecb_misses.get(),
+            meta_spill_hits: meta.spill_hits.get(),
+            meta_spill_misses: meta.spill_misses.get(),
+            meta_node_hits: meta.node_hits.get(),
+            meta_node_misses: meta.node_misses.get(),
+            meta_verify_climbs: meta.verify_climbs.get(),
+            meta_verify_levels: meta.verify_levels.get(),
+            meta_update_bumps: meta.update_bumps.get(),
+            nvm_reads: nvm.reads.get(),
+            nvm_writes: nvm.writes.get(),
+            nvm_row_hits: self.nvm.row_hits(),
+            nvm_row_misses: self.nvm.row_misses(),
+            cycles: 0,
+            tlb_hits: 0,
+            tlb_misses: 0,
+        }
+    }
+
+    /// Enables the cycle-attribution observer (clearing prior state).
+    /// `span_capacity` bounds the recorded span ring; 0 keeps metrics
+    /// only. Observation never changes simulated time.
+    pub fn enable_observer(&mut self, span_capacity: usize) {
+        self.obs.enable(span_capacity);
+    }
+
+    /// Disables the observer, restoring the near-zero disabled cost.
+    pub fn disable_observer(&mut self) {
+        self.obs.disable();
+    }
+
+    /// The cycle-attribution observer (metrics + spans).
+    pub fn observer(&self) -> &Observer {
+        &self.obs
+    }
+
     /// Datapath counters.
+    #[deprecated(since = "0.1.0", note = "use `snapshot()` and diff windows with `StatsSnapshot::delta`")]
     pub fn stats(&self) -> &CtrlStats {
         &self.stats
     }
 
     /// OTT counters.
+    #[deprecated(since = "0.1.0", note = "use `snapshot()` (`ott_*` fields)")]
     pub fn ott_stats(&self) -> &crate::ott::OttStats {
         self.ott.stats()
     }
 
     /// Metadata-system counters.
+    #[deprecated(since = "0.1.0", note = "use `snapshot()` (`meta_*` fields)")]
     pub fn meta_stats(&self) -> &fsencr_secmem::MetaStats {
         self.meta.stats()
     }
 
     /// Metadata-cache hit rate.
+    #[deprecated(since = "0.1.0", note = "use `snapshot().meta_hit_rate()`")]
     pub fn meta_hit_rate(&self) -> f64 {
         self.meta.cache_hit_rate()
     }
 
     /// Resets every measurement counter (controller, OTT, metadata,
     /// device).
+    #[deprecated(
+        since = "0.1.0",
+        note = "measurement is reset-free now: capture `snapshot()` at the window start instead"
+    )]
     pub fn reset_stats(&mut self) {
         self.stats = CtrlStats::default();
         self.ott.reset_stats();
@@ -332,18 +412,24 @@ impl MemoryController {
     ) -> Result<(Key128, Cycle), MemError> {
         let mut t = now + self.ott.latency_cycles();
         if let Some(key) = self.ott.lookup(gid, fid) {
+            self.obs.incr("ott/hits");
+            self.obs.add("ott/hit_cycles", t.since(now).get());
             return Ok((key, t));
         }
+        self.obs.incr("ott/misses");
         let (found, t_spill) = self
             .spill
             .lookup(&mut self.meta, &mut self.nvm, t, gid, fid)?;
         t = t_spill + self.aes_cycles; // decrypt the spilled key
         let key = found.ok_or(MemError::KeyUnavailable { gid, fid })?;
+        self.obs.incr("ott/fills");
         if let Some((vg, vf, vkey)) = self.ott.insert(gid, fid, key) {
+            self.obs.incr("ott/spills");
             t = self
                 .spill
                 .insert(&mut self.meta, &mut self.nvm, t, vg, vf, &vkey)?;
         }
+        self.obs.add("ott/miss_cycles", t.since(now).get());
         Ok((key, t))
     }
 
@@ -364,9 +450,14 @@ impl MemoryController {
     ) -> Result<([u8; LINE_BYTES], Cycle), MemError> {
         let line = addr.line();
         self.stats.reads.incr();
+        let row_base = self.row_base();
         let (cipher, t_data) = self.nvm.read_line(now, addr);
         if self.mode == CtrlMode::Unencrypted {
             self.stats.read_latency.record(t_data.since(now).get());
+            self.obs.add("ctrl/read/total_cycles", t_data.since(now).get());
+            self.obs.add("ctrl/read/data_cycles", t_data.since(now).get());
+            self.note_rows("ctrl/read/row_hits", "ctrl/read/row_misses", row_base);
+            self.obs.span("ctrl", "read_line", now.get(), t_data.get(), addr.get());
             return Ok((cipher, t_data));
         }
         assert!(
@@ -384,6 +475,13 @@ impl MemoryController {
         // the direct-encryption ablation decrypts only after both the data
         // and the counter are available.
         let t_pad_mem = macc.done + self.aes_cycles;
+        self.obs.incr(if macc.cache_hit {
+            "ctrl/read/mecb_hits"
+        } else {
+            "ctrl/read/mecb_misses"
+        });
+        self.obs.add("ctrl/read/mecb_wait_cycles", macc.done.since(now).get());
+        self.obs.add("ctrl/read/pad_gen_cycles", self.aes_cycles);
 
         let mut plain = cipher;
         self.xor_mem_pad(&mut plain, page, block, &mecb);
@@ -399,6 +497,14 @@ impl MemoryController {
             let (fecb_bytes, facc) = self.meta.read_block(&mut self.nvm, now, fecb_addr)?;
             let fecb = Fecb::from_bytes(&fecb_bytes);
             let (key, t_key) = self.resolve_key(facc.done, fecb.gid(), fecb.fid())?;
+            self.obs.incr(if facc.cache_hit {
+                "ctrl/read/fecb_hits"
+            } else {
+                "ctrl/read/fecb_misses"
+            });
+            self.obs.add("ctrl/read/fecb_wait_cycles", facc.done.since(now).get());
+            self.obs.add("ctrl/read/key_wait_cycles", t_key.since(facc.done).get());
+            self.obs.add("ctrl/read/pad_gen_cycles", self.aes_cycles);
             self.xor_file_pad(&mut plain, key, page, block, &fecb);
             done = if self.direct_encryption {
                 done.max(t_key) + self.aes_cycles
@@ -408,7 +514,32 @@ impl MemoryController {
         }
         let done = done + 1; // final XOR
         self.stats.read_latency.record(done.since(now).get());
+        self.obs.add("ctrl/read/total_cycles", done.since(now).get());
+        self.obs.add("ctrl/read/data_cycles", t_data.since(now).get());
+        self.obs
+            .add("ctrl/read/pad_exposed_cycles", done.get().saturating_sub(t_data.get()));
+        self.note_rows("ctrl/read/row_hits", "ctrl/read/row_misses", row_base);
+        self.obs.span("ctrl", "read_line", now.get(), done.get(), addr.get());
         Ok((plain, done))
+    }
+
+    /// Row-buffer counter baseline, captured only while observing so the
+    /// disabled path stays branch-cheap.
+    fn row_base(&self) -> Option<(u64, u64)> {
+        if self.obs.is_enabled() {
+            Some((self.nvm.row_hits(), self.nvm.row_misses()))
+        } else {
+            None
+        }
+    }
+
+    /// Attributes the row-buffer outcomes accumulated since `base` to the
+    /// given metric keys.
+    fn note_rows(&mut self, hits_key: &'static str, misses_key: &'static str, base: Option<(u64, u64)>) {
+        if let Some((h, m)) = base {
+            self.obs.add(hits_key, self.nvm.row_hits().saturating_sub(h));
+            self.obs.add(misses_key, self.nvm.row_misses().saturating_sub(m));
+        }
     }
 
     /// Writes one line (Figure 7, write path). Returns the completion
@@ -425,8 +556,13 @@ impl MemoryController {
     ) -> Result<Cycle, MemError> {
         let line = addr.line();
         self.stats.writes.incr();
+        let row_base = self.row_base();
         if self.mode == CtrlMode::Unencrypted {
-            return Ok(self.nvm.write_line(now, addr, plaintext));
+            let t_end = self.nvm.write_line(now, addr, plaintext);
+            self.obs.add("ctrl/write/total_cycles", t_end.since(now).get());
+            self.note_rows("ctrl/write/row_hits", "ctrl/write/row_misses", row_base);
+            self.obs.span("ctrl", "write_line", now.get(), t_end.get(), addr.get());
+            return Ok(t_end);
         }
         assert!(
             self.meta.layout().is_data(line),
@@ -438,6 +574,11 @@ impl MemoryController {
         // Memory counter: increment minor, handling overflow.
         let mecb_addr = self.meta.layout().mecb_addr(page);
         let (mecb_bytes, macc) = self.meta.read_block(&mut self.nvm, now, mecb_addr)?;
+        self.obs.incr(if macc.cache_hit {
+            "ctrl/write/mecb_hits"
+        } else {
+            "ctrl/write/mecb_misses"
+        });
         let mut mecb = Mecb::from_bytes(&mecb_bytes);
         let mut t = macc.done;
         let mut mecb_overflowed = false;
@@ -452,6 +593,7 @@ impl MemoryController {
             mecb.carry_major();
             mecb.increment(block as usize);
             mecb_overflowed = true;
+            self.obs.incr("ctrl/write/overflows");
         }
         let macc = self
             .meta
@@ -463,6 +605,8 @@ impl MemoryController {
             self.meta.persist_block(&mut self.nvm, macc.done, mecb_addr)?;
         }
         let mut t_pads = macc.done + self.aes_cycles;
+        self.obs.add("ctrl/write/mecb_wait_cycles", macc.done.since(now).get());
+        self.obs.add("ctrl/write/pad_gen_cycles", self.aes_cycles);
 
         let mut cipher = *plaintext;
         self.xor_mem_pad(&mut cipher, page, block, &mecb);
@@ -471,9 +615,15 @@ impl MemoryController {
             self.stats.file_accesses.incr();
             let fecb_addr = self.meta.layout().fecb_addr(page);
             let (fecb_bytes, facc) = self.meta.read_block(&mut self.nvm, now, fecb_addr)?;
+            self.obs.incr(if facc.cache_hit {
+                "ctrl/write/fecb_hits"
+            } else {
+                "ctrl/write/fecb_misses"
+            });
             let mut fecb = Fecb::from_bytes(&fecb_bytes);
             let mut tf = facc.done;
             let (key, t_key) = self.resolve_key(tf, fecb.gid(), fecb.fid())?;
+            self.obs.add("ctrl/write/key_wait_cycles", t_key.since(facc.done).get());
             tf = t_key;
             let mut fecb_overflowed = false;
             if fecb.increment(block as usize) {
@@ -484,6 +634,7 @@ impl MemoryController {
                 fecb.carry_major();
                 fecb.increment(block as usize);
                 fecb_overflowed = true;
+                self.obs.incr("ctrl/write/overflows");
             }
             let facc = self
                 .meta
@@ -493,10 +644,16 @@ impl MemoryController {
             }
             self.xor_file_pad(&mut cipher, key, page, block, &fecb);
             t_pads = t_pads.max(facc.done + self.aes_cycles);
+            self.obs.add("ctrl/write/pad_gen_cycles", self.aes_cycles);
         }
 
         self.ecc.record(line, plaintext);
-        Ok(self.nvm.write_line(t_pads + 1, addr, &cipher))
+        self.obs.add("ctrl/write/pad_wait_cycles", t_pads.since(now).get());
+        let t_end = self.nvm.write_line(t_pads + 1, addr, &cipher);
+        self.obs.add("ctrl/write/total_cycles", t_end.since(now).get());
+        self.note_rows("ctrl/write/row_hits", "ctrl/write/row_misses", row_base);
+        self.obs.span("ctrl", "write_line", now.get(), t_end.get(), addr.get());
+        Ok(t_end)
     }
 
     /// Minor-counter overflow: re-pad every line of `page` from the old
@@ -662,6 +819,7 @@ impl MemoryController {
     /// OTT survives (flushed with backup power, as the paper's second
     /// option); the on-chip root register survives.
     pub fn crash(&mut self) {
+        self.obs.incr("ctrl/crashes");
         self.meta.crash();
     }
 
@@ -856,6 +1014,10 @@ impl MemoryController {
             }
         }
         self.meta.rebuild(&mut self.nvm);
+        self.obs.incr("ctrl/recoveries");
+        self.obs.add("ctrl/recover/clean", report.clean);
+        self.obs.add("ctrl/recover/repaired", report.repaired);
+        self.obs.add("ctrl/recover/unrecoverable", report.unrecoverable);
         report
     }
 

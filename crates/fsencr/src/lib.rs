@@ -51,11 +51,13 @@ pub mod controller;
 pub mod machine;
 pub mod ott;
 pub mod security;
+pub mod snapshot;
 pub mod spill;
 pub mod tlb;
 pub mod trace;
 
 pub use controller::{CtrlStats, MemError, MemoryController, ModuleEnvelope};
-pub use machine::{Machine, MachineOpts, MapId, RunStats, SecurityMode};
+pub use machine::{Machine, MachineOpts, MapId, Preset, RunStats, SecurityMode};
+pub use snapshot::StatsSnapshot;
 pub use ott::{OpenTunnelTable, OttStats};
 pub use spill::OttSpill;

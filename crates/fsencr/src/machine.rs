@@ -29,7 +29,10 @@ use fsencr_nvm::{LineAddr, PageId, PhysAddr, LINE_BYTES, PAGE_BYTES};
 use fsencr_secmem::MetadataLayout;
 use fsencr_sim::{Cycle, MachineConfig};
 
+use fsencr_obs::Observer;
+
 use crate::controller::{CtrlMode, MemError, MemoryController, ModuleEnvelope, RecoveryReport};
+use crate::snapshot::StatsSnapshot;
 use crate::tlb::{Tlb, PAGE_WALK_CYCLES, TLB_ENTRIES};
 use crate::trace::{TraceKind, Tracer};
 
@@ -105,43 +108,152 @@ pub struct MachineOpts {
     pub softencr: SoftEncrConfig,
 }
 
-impl MachineOpts {
-    /// A small configuration for unit tests: 1 MiB general + 1 MiB DAX,
-    /// with a 64-page software page cache so it fits the general region.
-    pub fn small_test() -> Self {
-        let softencr = SoftEncrConfig {
-            page_cache_pages: 64,
-            ..SoftEncrConfig::default()
-        };
-        MachineOpts {
-            config: MachineConfig::paper_defaults(),
-            general_bytes: 1 << 20,
-            pmem_bytes: 1 << 20,
-            ott_spill_bytes: 4096,
-            seed: 0xF5EC,
-            softencr,
-        }
-    }
-
-    /// The benchmark configuration: 32 MiB general + 64 MiB DAX, enough
+/// Named starting points for [`MachineOpts::preset`]. Every experiment
+/// starts from one of these and overrides the handful of fields it
+/// varies, so the two configurations are defined in exactly one place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Unit-test scale: 1 MiB general + 1 MiB DAX, 64-page software page
+    /// cache (fits the general region).
+    SmallTest,
+    /// The paper's benchmark scale: 32 MiB general + 64 MiB DAX, enough
     /// to exceed every cache while keeping simulations fast. The software
     /// page cache is sized like real DRAM page caches relative to the
     /// working sets (4096 pages = 16 MiB): capacity misses are rare and
     /// the software-encryption cost is dominated by per-syscall layering
     /// and per-fsync page crypto, as in the paper's eCryptfs measurement.
-    pub fn benchmark() -> Self {
-        let softencr = SoftEncrConfig {
-            page_cache_pages: 4096,
-            ..SoftEncrConfig::default()
+    Paper,
+}
+
+impl MachineOpts {
+    /// Starts a builder from a named preset.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fsencr::{MachineOpts, Preset};
+    ///
+    /// let opts = MachineOpts::preset(Preset::SmallTest)
+    ///     .pmem_bytes(2 << 20)
+    ///     .metadata_cache_bytes(128 << 10)
+    ///     .build();
+    /// assert_eq!(opts.pmem_bytes, 2 << 20);
+    /// assert_eq!(opts.general_bytes, 1 << 20); // preset default kept
+    /// ```
+    pub fn preset(preset: Preset) -> MachineOptsBuilder {
+        let opts = match preset {
+            Preset::SmallTest => MachineOpts {
+                config: MachineConfig::paper_defaults(),
+                general_bytes: 1 << 20,
+                pmem_bytes: 1 << 20,
+                ott_spill_bytes: 4096,
+                seed: 0xF5EC,
+                softencr: SoftEncrConfig {
+                    page_cache_pages: 64,
+                    ..SoftEncrConfig::default()
+                },
+            },
+            Preset::Paper => MachineOpts {
+                config: MachineConfig::paper_defaults(),
+                general_bytes: 32 << 20,
+                pmem_bytes: 64 << 20,
+                ott_spill_bytes: 256 << 10,
+                seed: 0xF5EC,
+                softencr: SoftEncrConfig {
+                    page_cache_pages: 4096,
+                    ..SoftEncrConfig::default()
+                },
+            },
         };
-        MachineOpts {
-            config: MachineConfig::paper_defaults(),
-            general_bytes: 32 << 20,
-            pmem_bytes: 64 << 20,
-            ott_spill_bytes: 256 << 10,
-            seed: 0xF5EC,
-            softencr,
-        }
+        MachineOptsBuilder { opts }
+    }
+
+    /// [`Preset::SmallTest`] with no overrides.
+    pub fn small_test() -> Self {
+        MachineOpts::preset(Preset::SmallTest).build()
+    }
+
+    /// [`Preset::Paper`] with no overrides.
+    pub fn benchmark() -> Self {
+        MachineOpts::preset(Preset::Paper).build()
+    }
+}
+
+/// Builder over [`MachineOpts`], started via [`MachineOpts::preset`].
+///
+/// Setters cover both the top-level region sizes and the commonly swept
+/// architectural knobs (metadata-cache capacity, OTT latency, Osiris
+/// stop-loss, the ablation switches), so experiments override one field
+/// instead of restating a whole configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineOptsBuilder {
+    opts: MachineOpts,
+}
+
+impl MachineOptsBuilder {
+    /// Bytes of general (non-DAX) memory.
+    pub fn general_bytes(mut self, bytes: u64) -> Self {
+        self.opts.general_bytes = bytes;
+        self
+    }
+
+    /// Bytes of the DAX-formatted persistent region.
+    pub fn pmem_bytes(mut self, bytes: u64) -> Self {
+        self.opts.pmem_bytes = bytes;
+        self
+    }
+
+    /// Bytes reserved for the encrypted OTT spill region.
+    pub fn ott_spill_bytes(mut self, bytes: u64) -> Self {
+        self.opts.ott_spill_bytes = bytes;
+        self
+    }
+
+    /// Seed for keys and FEK generation.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.opts.seed = seed;
+        self
+    }
+
+    /// Metadata-cache capacity (the Figure 15 sweep axis).
+    pub fn metadata_cache_bytes(mut self, bytes: usize) -> Self {
+        self.opts.config.security.metadata_cache.size_bytes = bytes;
+        self
+    }
+
+    /// OTT lookup latency in cycles.
+    pub fn ott_latency_cycles(mut self, cycles: u64) -> Self {
+        self.opts.config.security.ott_latency_cycles = cycles;
+        self
+    }
+
+    /// Osiris stop-loss period (counter persistence interval).
+    pub fn osiris_stop_loss(mut self, period: u32) -> Self {
+        self.opts.config.security.osiris_stop_loss = period;
+        self
+    }
+
+    /// Ablation: statically partition the metadata cache per kind.
+    pub fn partition_metadata_cache(mut self, on: bool) -> Self {
+        self.opts.config.security.partition_metadata_cache = on;
+        self
+    }
+
+    /// Ablation: direct (serialized) encryption instead of counter mode.
+    pub fn direct_encryption(mut self, on: bool) -> Self {
+        self.opts.config.security.direct_encryption = on;
+        self
+    }
+
+    /// Software page-cache capacity in 4 KiB pages.
+    pub fn page_cache_pages(mut self, pages: usize) -> Self {
+        self.opts.softencr.page_cache_pages = pages;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> MachineOpts {
+        self.opts
     }
 }
 
@@ -241,9 +353,17 @@ pub struct TransferredModule {
 }
 
 impl TransferredModule {
-    /// Mutable access to the raw device — the in-transit attacker.
-    pub fn nvm_mut(&mut self) -> &mut fsencr_nvm::NvmDevice {
-        &mut self.nvm
+    /// Reads a raw media line — what the in-transit attacker sees
+    /// (ciphertext only).
+    pub fn peek_line(&self, addr: PhysAddr) -> [u8; LINE_BYTES] {
+        self.nvm.peek_line(addr)
+    }
+
+    /// Overwrites a raw media line — the in-transit tampering attack.
+    /// Import-time authentication against the envelope's root digest is
+    /// expected to catch this.
+    pub fn tamper_line(&mut self, addr: PhysAddr, data: &[u8; LINE_BYTES]) {
+        self.nvm.poke_line(addr, data);
     }
 }
 
@@ -275,7 +395,7 @@ pub struct Machine {
     journal_cursor: u64,
     tlbs: Vec<Tlb>,
     tracer: Tracer,
-    measure_start: Cycle,
+    baseline: StatsSnapshot,
 }
 
 impl Machine {
@@ -349,7 +469,7 @@ impl Machine {
             journal_cursor: 0,
             tlbs: (0..cores).map(|_| Tlb::new(TLB_ENTRIES)).collect(),
             tracer: Tracer::new(),
-            measure_start: Cycle::ZERO,
+            baseline: StatsSnapshot::default(),
         }
     }
 
@@ -379,9 +499,41 @@ impl Machine {
         &self.ctrl
     }
 
-    /// Mutable controller access (crash injection, boot-auth lockout).
-    pub fn controller_mut(&mut self) -> &mut MemoryController {
+    /// Raw mutable controller access. Debug/attack surface only — normal
+    /// experiments should use the purpose-built methods
+    /// ([`Machine::lock_file_engine`], [`Machine::tamper_line`],
+    /// [`Machine::crash`], ...), which keep the machine's own state
+    /// consistent with the controller's.
+    pub fn debug_controller_mut(&mut self) -> &mut MemoryController {
         &mut self.ctrl
+    }
+
+    /// Boot-auth lockout: suspends the file engine (reads/writes fall
+    /// back to memory-only pads) until [`Machine::unlock_file_engine`].
+    pub fn lock_file_engine(&mut self) {
+        self.ctrl.lock_file_engine();
+    }
+
+    /// Re-arms the file engine after a [`Machine::lock_file_engine`].
+    pub fn unlock_file_engine(&mut self) {
+        self.ctrl.unlock_file_engine();
+    }
+
+    /// Reads a raw media line (ciphertext) — the physical-probe attacker.
+    pub fn peek_media_line(&self, addr: PhysAddr) -> [u8; LINE_BYTES] {
+        self.ctrl.nvm().peek_line(addr)
+    }
+
+    /// Overwrites a raw media line behind the controller's back — the
+    /// tampering attacker. Integrity verification is expected to catch
+    /// the modification on the next covered read.
+    pub fn tamper_line(&mut self, addr: PhysAddr, data: &[u8; LINE_BYTES]) {
+        self.ctrl.debug_nvm_mut().poke_line(addr, data);
+    }
+
+    /// Per-line write-wear telemetry from the device.
+    pub fn wear(&self) -> &fsencr_nvm::WearTracker {
+        self.ctrl.nvm().wear()
     }
 
     /// The filesystem model.
@@ -422,38 +574,72 @@ impl Machine {
         }
     }
 
-    /// Starts a measurement window: resets controller/device/metadata/OTT
-    /// counters and remembers the current time.
+    /// One coherent snapshot of every counter in the machine: the
+    /// controller datapath (see [`MemoryController::snapshot`]) plus the
+    /// machine-level clock and TLB totals. Reset-free: diff two
+    /// snapshots with [`StatsSnapshot::delta`] to measure a window.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut s = self.ctrl.snapshot();
+        s.cycles = self.elapsed().get();
+        let (h, m) = self.tlbs.iter().fold((0u64, 0u64), |(h, m), t| {
+            (h + t.stats().hits.get(), m + t.stats().misses.get())
+        });
+        s.tlb_hits = h;
+        s.tlb_misses = m;
+        s
+    }
+
+    /// Starts a measurement window: synchronizes the cores and remembers
+    /// the current [`Machine::snapshot`] as the window baseline. No
+    /// counter is reset, so nested/outer observers keep their totals.
     pub fn begin_measurement(&mut self) {
         self.sync_cores();
-        self.ctrl.reset_stats();
-        for tlb in &mut self.tlbs {
-            tlb.reset_stats();
-        }
-        self.measure_start = self.elapsed();
+        self.baseline = self.snapshot();
+    }
+
+    /// Counters accumulated since [`Machine::begin_measurement`] (or
+    /// since construction, if it was never called).
+    pub fn measurement_snapshot(&self) -> StatsSnapshot {
+        self.snapshot().delta(&self.baseline)
     }
 
     /// Snapshot of the current measurement window.
     pub fn measurement(&self) -> RunStats {
-        let ott = self.ctrl.ott_stats();
-        let lat = self.ctrl.stats().read_latency;
+        let d = self.measurement_snapshot();
         RunStats {
-            cycles: self.elapsed().since(self.measure_start).get(),
-            nvm_reads: self.ctrl.nvm().stats().reads.get(),
-            nvm_writes: self.ctrl.nvm().stats().writes.get(),
-            meta_hit_rate: self.ctrl.meta_hit_rate(),
-            ott_hits: ott.hits.get(),
-            ott_misses: ott.misses.get(),
-            file_accesses: self.ctrl.stats().file_accesses.get(),
-            tlb_hit_rate: {
-                let (h, m) = self.tlbs.iter().fold((0u64, 0u64), |(h, m), t| {
-                    (h + t.stats().hits.get(), m + t.stats().misses.get())
-                });
-                fsencr_sim::stats::hit_rate(h, m)
-            },
-            read_p50: lat.percentile(0.5),
-            read_p99: lat.percentile(0.99),
+            cycles: d.cycles,
+            nvm_reads: d.nvm_reads,
+            nvm_writes: d.nvm_writes,
+            meta_hit_rate: d.meta_hit_rate(),
+            ott_hits: d.ott_hits,
+            ott_misses: d.ott_misses,
+            file_accesses: d.file_accesses,
+            tlb_hit_rate: d.tlb_hit_rate(),
+            read_p50: d.read_latency.percentile(0.5),
+            read_p99: d.read_latency.percentile(0.99),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Observation (cycle-attribution).
+    // ------------------------------------------------------------------
+
+    /// Enables the controller's cycle-attribution observer.
+    /// `span_capacity` bounds the per-event span buffer (0 keeps spans
+    /// off while still collecting metrics).
+    pub fn enable_observer(&mut self, span_capacity: usize) {
+        self.ctrl.enable_observer(span_capacity);
+    }
+
+    /// Disables (and clears) the observer; the datapath reverts to its
+    /// one-branch-per-record disabled cost.
+    pub fn disable_observer(&mut self) {
+        self.ctrl.disable_observer();
+    }
+
+    /// The controller's observer (metrics + recorded spans).
+    pub fn observer(&self) -> &Observer {
+        self.ctrl.observer()
     }
 
     // ------------------------------------------------------------------

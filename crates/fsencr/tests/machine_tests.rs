@@ -191,9 +191,9 @@ fn media_tampering_is_detected_on_read() {
     let frame = m.fs().stat("t").unwrap().page(0).unwrap();
     let meta_base = m.opts().general_bytes + m.opts().pmem_bytes;
     let fecb_addr = fsencr_nvm::PhysAddr::new(meta_base + frame.get() * 128 + 64);
-    let mut evil = m.controller().nvm().peek_line(fecb_addr);
+    let mut evil = m.peek_media_line(fecb_addr);
     evil[4] ^= 0x01;
-    m.controller_mut().nvm_mut().poke_line(fecb_addr, &evil);
+    m.tamper_line(fecb_addr, &evil);
 
     let h = m
         .open(ALICE, &[STAFF], "t", AccessKind::Read, Some("pw"))
@@ -246,14 +246,14 @@ fn boot_lockout_garbles_file_reads() {
     let frame = m.fs().stat("locked").unwrap().page(0).unwrap();
     m.crash();
     m.recover();
-    m.controller_mut().lock_file_engine();
+    m.lock_file_engine();
     let line = fsencr_nvm::PhysAddr::new(frame.get() * PAGE_BYTES as u64);
     let t = m.elapsed();
-    let (garbled, _) = m.controller_mut().read_line(t, line).unwrap();
+    let (garbled, _) = m.debug_controller_mut().read_line(t, line).unwrap();
     assert_ne!(&garbled[..16], b"admin-only-data!", "lockout must hide plaintext");
 
     // Successful re-authentication restores access.
-    m.controller_mut().unlock_file_engine();
+    m.unlock_file_engine();
     let mut buf = [0u8; 16];
     let h = m
         .open(ALICE, &[STAFF], "locked", AccessKind::Read, Some("pw"))

@@ -89,9 +89,9 @@ fn tampered_module_is_rejected_at_import() {
     let (envelope, mut module) = m.export_module().unwrap();
     // In-transit attacker flips a counter bit.
     let addr = fsencr_nvm::PhysAddr::new(meta_base + frame.get() * 128);
-    let mut evil = module.nvm_mut().peek_line(addr);
+    let mut evil = module.peek_line(addr);
     evil[0] ^= 1;
-    module.nvm_mut().poke_line(addr, &evil);
+    module.tamper_line(addr, &evil);
 
     let err = Machine::import_module(&envelope, module);
     assert!(err.is_err(), "tampered module must be rejected");
@@ -126,7 +126,7 @@ fn minor_counter_overflow_reencrypts_page_transparently() {
         m.persist(0, map, 0, 4).unwrap();
     }
     assert!(
-        m.controller().stats().overflow_reencryptions.get() >= 1,
+        m.snapshot().overflow_reencryptions >= 1,
         "300 persisted writes must overflow a 7-bit minor counter"
     );
     let mut buf = [0u8; 14];
@@ -251,7 +251,7 @@ fn crash_immediately_after_overflow_recovers_whole_page() {
         m.persist(0, map, 0, 4).unwrap();
     }
     assert!(
-        m.controller().stats().overflow_reencryptions.get() >= 1,
+        m.snapshot().overflow_reencryptions >= 1,
         "overflow must have happened"
     );
     m.crash();

@@ -84,6 +84,60 @@ pub struct MetaStats {
     pub evict_writebacks: Counter,
     /// Stop-loss write-throughs forced by the Osiris rule.
     pub osiris_persists: Counter,
+    /// MECB leaf lookups that hit the metadata cache.
+    pub mecb_hits: Counter,
+    /// MECB leaf lookups that missed.
+    pub mecb_misses: Counter,
+    /// FECB leaf lookups that hit the metadata cache.
+    pub fecb_hits: Counter,
+    /// FECB leaf lookups that missed.
+    pub fecb_misses: Counter,
+    /// Spilled-OTT leaf lookups that hit the metadata cache.
+    pub spill_hits: Counter,
+    /// Spilled-OTT leaf lookups that missed.
+    pub spill_misses: Counter,
+    /// Merkle-node cache lookups that found a trusted on-chip copy.
+    pub node_hits: Counter,
+    /// Merkle-node cache lookups that had to fetch from NVM
+    /// (always equals [`MetaStats::node_fetches`]).
+    pub node_misses: Counter,
+    /// Verification climbs started (one per leaf miss).
+    pub verify_climbs: Counter,
+    /// Total tree levels walked across all verification climbs.
+    pub verify_levels: Counter,
+    /// Parent-digest updates on the write-back/persist path.
+    pub update_bumps: Counter,
+}
+
+impl MetaStats {
+    /// Per-structure leaf hits and misses summed back together — equals
+    /// (`leaf_hits`, `leaf_misses`) by construction.
+    pub fn leaf_totals(&self) -> (u64, u64) {
+        (
+            self.mecb_hits.get() + self.fecb_hits.get() + self.spill_hits.get(),
+            self.mecb_misses.get() + self.fecb_misses.get() + self.spill_misses.get(),
+        )
+    }
+
+    /// Mean tree depth walked per verification climb (0.0 when none ran).
+    pub fn mean_verify_depth(&self) -> f64 {
+        if self.verify_climbs.get() == 0 {
+            0.0
+        } else {
+            self.verify_levels.get() as f64 / self.verify_climbs.get() as f64
+        }
+    }
+}
+
+/// Which structure a covered leaf belongs to, for per-structure stats.
+/// Finer-grained than the cache partition: the encrypted OTT spill
+/// region is split out of the node partition it shares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StatKind {
+    Mecb,
+    Fecb,
+    Spill,
+    Node,
 }
 
 fn digest8(bytes: &[u8; LINE_BYTES]) -> [u8; 8] {
@@ -140,7 +194,7 @@ impl MetaCaches {
         }
     }
 
-    fn hit_rate(&self) -> f64 {
+    fn counts(&self) -> (u64, u64) {
         let (mut hits, mut misses) = (0u64, 0u64);
         let collect = |c: &Cache, hits: &mut u64, misses: &mut u64| {
             *hits += c.stats().hits.get();
@@ -154,6 +208,11 @@ impl MetaCaches {
                 collect(nodes, &mut hits, &mut misses);
             }
         }
+        (hits, misses)
+    }
+
+    fn hit_rate(&self) -> f64 {
+        let (hits, misses) = self.counts();
         fsencr_sim::stats::hit_rate(hits, misses)
     }
 }
@@ -263,6 +322,14 @@ impl MetadataSystem {
         self.cache.hit_rate()
     }
 
+    /// Raw `(hits, misses)` of the metadata cache (summed across
+    /// partitions) — the monotonic counters behind
+    /// [`MetadataSystem::cache_hit_rate`], exposed so snapshot-delta
+    /// measurement can recompute the rate over any window.
+    pub fn cache_counts(&self) -> (u64, u64) {
+        self.cache.counts()
+    }
+
     /// Which partition `addr` belongs to. Counter leaves alternate
     /// MECB/FECB at 64-byte granularity; OTT-spill leaves and tree nodes
     /// share the node partition.
@@ -283,6 +350,40 @@ impl MetadataSystem {
     fn cache_at(&mut self, addr: LineAddr) -> &mut Cache {
         let kind = self.kind_of(addr);
         self.cache.get(kind)
+    }
+
+    /// Classifies `addr` for per-structure statistics.
+    fn stat_kind_of(&self, addr: LineAddr) -> StatKind {
+        let a = addr.get();
+        let base = self.layout.meta_base();
+        let counters_end = base + self.layout.data_bytes() / 4096 * 128;
+        if a >= base && a < counters_end {
+            if (a - base).is_multiple_of(128) {
+                StatKind::Mecb
+            } else {
+                StatKind::Fecb
+            }
+        } else if a >= self.layout.ott_base() && a < self.layout.merkle_base() {
+            StatKind::Spill
+        } else {
+            StatKind::Node
+        }
+    }
+
+    /// Records a per-structure leaf-cache outcome alongside the coarse
+    /// `leaf_hits`/`leaf_misses` counters.
+    fn note_leaf(&mut self, addr: LineAddr, hit: bool) {
+        let counter = match (self.stat_kind_of(addr), hit) {
+            (StatKind::Mecb, true) => &mut self.stats.mecb_hits,
+            (StatKind::Mecb, false) => &mut self.stats.mecb_misses,
+            (StatKind::Fecb, true) => &mut self.stats.fecb_hits,
+            (StatKind::Fecb, false) => &mut self.stats.fecb_misses,
+            // read_block only ever sees leaves, so Node here would mean a
+            // layout bug; fold it into the spill bucket rather than panic.
+            (StatKind::Spill | StatKind::Node, true) => &mut self.stats.spill_hits,
+            (StatKind::Spill | StatKind::Node, false) => &mut self.stats.spill_misses,
+        };
+        counter.incr();
     }
 
     fn interpret_node(&self, level: usize, bytes: [u8; LINE_BYTES]) -> [u8; LINE_BYTES] {
@@ -324,9 +425,11 @@ impl MetadataSystem {
         if let Some(data) = self.cache_at(addr).lookup(addr) {
             let data = *data;
             self.stats.leaf_hits.incr();
+            self.note_leaf(addr, true);
             return Ok((data, MetaAccess { done: t, cache_hit: true }));
         }
         self.stats.leaf_misses.incr();
+        self.note_leaf(addr, false);
 
         let (bytes, t_read) = nvm.read_line(t, addr.into_phys());
         t = t_read;
@@ -349,16 +452,19 @@ impl MetadataSystem {
         let leaf = self.layout.leaf_index(addr);
         let mut expected = digest8(bytes);
         t += self.mac_cycles;
+        self.stats.verify_climbs.incr();
 
         let path = self.layout.path_of_leaf(leaf);
         let mut fetched: Vec<(LineAddr, [u8; LINE_BYTES])> = Vec::new();
         let top_level = self.layout.merkle_levels() - 1;
 
         for (level, node_idx, slot) in path {
+            self.stats.verify_levels.incr();
             let node_addr = self.layout.node_addr(level, node_idx);
-            if let Some(node) = self.cache_at(node_addr).lookup(node_addr) {
+            if let Some(node) = self.cache_at(node_addr).lookup(node_addr).copied() {
+                self.stats.node_hits.incr();
                 // Trusted on-chip copy: one check closes the chain.
-                if Self::slot_of(node, slot) != expected {
+                if Self::slot_of(&node, slot) != expected {
                     return Err(TamperError { addr, level });
                 }
                 t += self.mac_cycles;
@@ -370,6 +476,7 @@ impl MetadataSystem {
             let (raw, t_read) = nvm.read_line(t, node_addr.into_phys());
             t = t_read + self.mac_cycles;
             self.stats.node_fetches.incr();
+            self.stats.node_misses.incr();
             let node = self.interpret_node(level, raw);
             if Self::slot_of(&node, slot) != expected {
                 return Err(TamperError { addr, level });
@@ -440,6 +547,7 @@ impl MetadataSystem {
     ) -> Cycle {
         let new_digest = digest8(bytes);
         t += self.mac_cycles;
+        self.stats.update_bumps.incr();
 
         let (parent_level, parent_idx, slot) = if self.layout.is_metadata(addr) {
             let leaf = self.layout.leaf_index(addr);
@@ -460,8 +568,12 @@ impl MetadataSystem {
         };
 
         let parent_addr = self.layout.node_addr(parent_level, parent_idx);
-        let mut node = match self.cache_at(parent_addr).lookup(parent_addr) {
-            Some(n) => *n,
+        let cached = self.cache_at(parent_addr).lookup(parent_addr).copied();
+        let mut node = match cached {
+            Some(n) => {
+                self.stats.node_hits.incr();
+                n
+            }
             None => {
                 // Fetch the parent without full climb: its own integrity is
                 // re-established transitively — we are about to overwrite
@@ -470,6 +582,7 @@ impl MetadataSystem {
                 let (raw, t_read) = nvm.read_line(t, parent_addr.into_phys());
                 t = t_read;
                 self.stats.node_fetches.incr();
+                self.stats.node_misses.incr();
                 self.interpret_node(parent_level, raw)
             }
         };
@@ -681,6 +794,17 @@ impl StatSource for MetadataSystem {
                 "meta.osiris_persists".to_string(),
                 self.stats.osiris_persists.get(),
             ),
+            ("meta.mecb_hits".to_string(), self.stats.mecb_hits.get()),
+            ("meta.mecb_misses".to_string(), self.stats.mecb_misses.get()),
+            ("meta.fecb_hits".to_string(), self.stats.fecb_hits.get()),
+            ("meta.fecb_misses".to_string(), self.stats.fecb_misses.get()),
+            ("meta.spill_hits".to_string(), self.stats.spill_hits.get()),
+            ("meta.spill_misses".to_string(), self.stats.spill_misses.get()),
+            ("meta.node_hits".to_string(), self.stats.node_hits.get()),
+            ("meta.node_misses".to_string(), self.stats.node_misses.get()),
+            ("meta.verify_climbs".to_string(), self.stats.verify_climbs.get()),
+            ("meta.verify_levels".to_string(), self.stats.verify_levels.get()),
+            ("meta.update_bumps".to_string(), self.stats.update_bumps.get()),
         ]
     }
 }
@@ -906,5 +1030,36 @@ mod tests {
         sys.read_block(&mut nvm, Cycle::ZERO, addr).unwrap();
         let rows = sys.stat_rows();
         assert!(rows.iter().any(|(k, v)| k == "meta.leaf_misses" && *v == 1));
+        assert!(rows.iter().any(|(k, v)| k == "meta.mecb_misses" && *v == 1));
+    }
+
+    #[test]
+    fn per_structure_counters_partition_the_leaf_totals() {
+        let (mut sys, mut nvm) = small_setup();
+        let mut t = Cycle::ZERO;
+        for p in 0..8u64 {
+            let page = PageId::new(p);
+            t = sys.read_block(&mut nvm, t, sys.layout().mecb_addr(page)).unwrap().1.done;
+            t = sys.read_block(&mut nvm, t, sys.layout().fecb_addr(page)).unwrap().1.done;
+        }
+        // Cache-resident re-reads.
+        for p in 0..8u64 {
+            let page = PageId::new(p);
+            t = sys.read_block(&mut nvm, t, sys.layout().mecb_addr(page)).unwrap().1.done;
+        }
+        let s = sys.stats();
+        assert_eq!(s.mecb_misses.get(), 8);
+        assert_eq!(s.fecb_misses.get(), 8);
+        assert_eq!(s.mecb_hits.get(), 8);
+        let (hits, misses) = s.leaf_totals();
+        assert_eq!(hits, s.leaf_hits.get());
+        assert_eq!(misses, s.leaf_misses.get());
+        // Every leaf miss starts exactly one climb, and each climb walks
+        // at least one level.
+        assert_eq!(s.verify_climbs.get(), s.leaf_misses.get());
+        assert!(s.verify_levels.get() >= s.verify_climbs.get());
+        assert!(s.mean_verify_depth() >= 1.0);
+        // Node fetches and node misses are the same event.
+        assert_eq!(s.node_misses.get(), s.node_fetches.get());
     }
 }

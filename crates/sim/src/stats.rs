@@ -265,6 +265,38 @@ impl Histogram {
         1u64 << 39
     }
 
+    /// Bucket-wise difference `self - base`: the histogram of samples
+    /// recorded after `base` was captured. Counts saturate at zero, so a
+    /// stale baseline degrades to an empty delta instead of wrapping.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fsencr_sim::stats::Histogram;
+    ///
+    /// let mut h = Histogram::new();
+    /// h.record(100);
+    /// let base = h;
+    /// h.record(5000);
+    /// let d = h.delta(&base);
+    /// assert_eq!(d.count(), 1);
+    /// assert_eq!(d.percentile(0.5), 8192);
+    /// ```
+    #[must_use]
+    pub fn delta(&self, base: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (o, (a, b)) in out
+            .buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(base.buckets.iter()))
+        {
+            *o = a.saturating_sub(*b);
+        }
+        out.count = self.count.saturating_sub(base.count);
+        out.sum = self.sum.saturating_sub(base.sum);
+        out
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {

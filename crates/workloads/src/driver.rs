@@ -2,6 +2,8 @@
 //! interleaving.
 
 use fsencr::machine::{Machine, MachineError, MachineOpts, RunStats, SecurityMode};
+use fsencr::snapshot::StatsSnapshot;
+use fsencr_obs::Observer;
 
 /// A benchmark: a setup phase (excluded from measurement, like the
 //  paper's fast-forward to the post-file-creation point) and a measured
@@ -63,6 +65,62 @@ pub fn run_workload(
         workload: workload.name(),
         mode,
         stats: m.measurement(),
+    })
+}
+
+/// [`run_workload`] plus cycle attribution: the run phase executes with
+/// the machine's observer enabled, and the result carries the observer
+/// (metrics + spans) and the raw [`StatsSnapshot`] window next to the
+/// usual [`RunStats`].
+#[derive(Debug, Clone)]
+pub struct ProfiledRun {
+    /// The plain result, identical to what [`run_workload`] returns.
+    pub result: RunResult,
+    /// Cycle-attribution metrics and spans covering the run phase only.
+    pub observer: Observer,
+    /// The measurement window as a raw counter snapshot delta.
+    pub window: StatsSnapshot,
+    /// Machine-level trace events (page faults, key installs, shreds,
+    /// crashes) recorded over the same window.
+    pub trace: Vec<fsencr::trace::TraceEvent>,
+}
+
+/// Builds a machine, runs `workload` under `mode` with the
+/// cycle-attribution observer enabled for the measured phase, and
+/// returns stats plus attribution. `span_capacity` bounds the per-run
+/// span buffer (0 records metrics only).
+///
+/// Setup is excluded from attribution the same way it is excluded from
+/// measurement: the observer is enabled after [`Workload::setup`].
+///
+/// # Errors
+///
+/// Propagates machine failures from setup or run.
+pub fn profile_workload(
+    base_opts: MachineOpts,
+    mode: SecurityMode,
+    workload: &mut dyn Workload,
+    span_capacity: usize,
+) -> Result<ProfiledRun, MachineError> {
+    let opts = workload.configure(base_opts);
+    let mut m = Machine::new(opts, mode);
+    workload.setup(&mut m)?;
+    m.enable_observer(span_capacity);
+    if span_capacity > 0 {
+        m.enable_trace(span_capacity);
+    }
+    m.begin_measurement();
+    workload.run(&mut m)?;
+    m.sync_cores();
+    Ok(ProfiledRun {
+        result: RunResult {
+            workload: workload.name(),
+            mode,
+            stats: m.measurement(),
+        },
+        observer: m.observer().clone(),
+        window: m.measurement_snapshot(),
+        trace: m.trace(),
     })
 }
 

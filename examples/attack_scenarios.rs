@@ -60,10 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let frame = m.fs().stat("hr.doc").unwrap().page(0).unwrap();
     m.crash();
     m.recover();
-    m.controller_mut().lock_file_engine();
+    m.lock_file_engine();
     let line = fsencr_nvm::PhysAddr::new(frame.get() * PAGE_BYTES as u64);
     let t = m.elapsed();
-    let (bytes, _) = m.controller_mut().read_line(t, line)?;
+    let (bytes, _) = m.debug_controller_mut().read_line(t, line)?;
     let visible = bytes.windows(SECRET.len().min(16)).any(|w| w == &SECRET[..16]);
     println!("  file engine locked; physical reads show plaintext: {visible}");
     assert!(!visible);
@@ -75,12 +75,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let frame = m.fs().stat("hr.doc").unwrap().page(0).unwrap();
     let meta_base = m.opts().general_bytes + m.opts().pmem_bytes;
     let mecb = fsencr_nvm::PhysAddr::new(meta_base + frame.get() * 128);
-    let mut evil = m.controller().nvm().peek_line(mecb);
+    let mut evil = m.peek_media_line(mecb);
     evil[0] ^= 0xff;
-    m.controller_mut().nvm_mut().poke_line(mecb, &evil);
+    m.tamper_line(mecb, &evil);
     let t = m.elapsed();
     let line = fsencr_nvm::PhysAddr::new(frame.get() * PAGE_BYTES as u64);
-    match m.controller_mut().read_line(t, line) {
+    match m.debug_controller_mut().read_line(t, line) {
         Err(e) => println!("  Merkle tree says: {e}"),
         Ok(_) => unreachable!("tampering must be detected"),
     }

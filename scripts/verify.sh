@@ -18,10 +18,18 @@ echo "==> static analysis gate: cargo run -p analysis -- check"
 cargo run --release -q -p analysis -- check
 
 echo "==> static analysis self-test: lint must fail on the seeded-violation fixtures"
-if cargo run --release -q -p analysis -- lint --root crates/analysis/fixtures/violations >/dev/null 2>&1; then
+if cargo run --release -q -p analysis -- lint --root crates/analysis/fixtures/violations >/tmp/fsencr_lint_fixture.out 2>&1; then
     echo "FAIL: lint pass reported the seeded-violation fixture tree as clean" >&2
     exit 1
 fi
+# The fixture tree seeds violations in every guarded crate class,
+# including the observability crate; each must actually be reported.
+for seeded in "crates/bench/src/lib.rs" "crates/fsencr/src/lib.rs" "crates/obs/src/lib.rs"; do
+    if ! grep -q "$seeded" /tmp/fsencr_lint_fixture.out; then
+        echo "FAIL: lint did not flag seeded violations in $seeded" >&2
+        exit 1
+    fi
+done
 
 # Optional deeper checkers: run when the toolchain supports them,
 # skip gracefully when it does not (offline container has no

@@ -81,8 +81,8 @@ fn keys_survive_ott_pressure_through_spill() {
         m.read(0, *map, 0, &mut buf).unwrap();
         assert!(buf.starts_with(format!("content-{i}").as_bytes()), "file {i}");
     }
-    let stats = m.controller().ott_stats();
-    assert!(stats.evictions.get() >= 8, "OTT must have spilled: {stats:?}");
+    let s = m.snapshot();
+    assert!(s.ott_evictions >= 8, "OTT must have spilled: {} evictions", s.ott_evictions);
 }
 
 #[test]
