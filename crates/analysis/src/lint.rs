@@ -18,9 +18,16 @@
 //!   its record calls sit on the datapath.
 //! * `forbid-unsafe` — every crate root (`src/lib.rs`, `src/main.rs`,
 //!   `src/bin/*.rs`) must carry `#![forbid(unsafe_code)]`.
+//! * `hot-alloc` — bare `Vec::new()` / `VecDeque::new()` are banned in
+//!   the files whose verification and crypto inner loops are
+//!   allocation-free by design (see [`ALLOC_FREE_FILES`]): scratch
+//!   buffers there are preallocated and reused, and an unsized
+//!   allocation is how a per-call `Vec` regression starts. Sized
+//!   allocations (`with_capacity`, literal `vec![…]` in cold reporting
+//!   paths) stay allowed.
 //!
-//! Code under `#[cfg(test)]` is exempt from `no-panic`, `lossy-cast` and
-//! `nondeterminism`. Audited exceptions go in `allowlist.txt`
+//! Code under `#[cfg(test)]` is exempt from `no-panic`, `lossy-cast`,
+//! `nondeterminism` and `hot-alloc`. Audited exceptions go in `allowlist.txt`
 //! (`rule path needle -- justification` per line); unused entries are
 //! themselves reported so the allowlist can never rot.
 
@@ -37,6 +44,16 @@ const FIGURE_CRATES: [&str; 3] = ["bench", "sim", "obs"];
 
 /// Narrow integer targets a lossy cast can truncate into.
 const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Files whose inner loops (verification chains, line digests, pad
+/// generation) must stay allocation-free: scratch lives in the owning
+/// struct and is reused across calls.
+const ALLOC_FREE_FILES: [&str; 4] = [
+    "crates/secmem/src/metadata.rs",
+    "crates/crypto/src/sha256.rs",
+    "crates/crypto/src/ctr.rs",
+    "crates/crypto/src/schedule.rs",
+];
 
 /// One audited exception from `allowlist.txt`.
 #[derive(Debug, Clone)]
@@ -269,6 +286,7 @@ pub fn lint_file(rel: &str, src: &str) -> Vec<Finding> {
     let krate = crate_of(rel);
     let hot = krate.is_some_and(|k| HOT_CRATES.contains(&k));
     let figure = krate.is_some_and(|k| FIGURE_CRATES.contains(&k));
+    let alloc_free = ALLOC_FREE_FILES.contains(&rel);
     let mut findings = Vec::new();
 
     if is_crate_root(rel) && !has_forbid_unsafe(&tokens) {
@@ -333,6 +351,25 @@ pub fn lint_file(rel: &str, src: &str) -> Vec<Finding> {
                 }
                 _ => {}
             }
+        }
+        if alloc_free
+            && tok.text == "new"
+            && idx >= 3
+            && tokens[idx - 1].is_punct(':')
+            && tokens[idx - 2].is_punct(':')
+            && (tokens[idx - 3].is_ident("Vec") || tokens[idx - 3].is_ident("VecDeque"))
+            && next.is_some_and(|n| n.is_punct('('))
+        {
+            findings.push(Finding {
+                path: rel.to_string(),
+                line: tok.line,
+                rule: "hot-alloc",
+                message: format!(
+                    "bare `{}::new()` in allocation-free hot-path file; preallocate \
+                     (`with_capacity`) or reuse the owning struct's scratch",
+                    tokens[idx - 3].text
+                ),
+            });
         }
         if figure {
             let nondet = match tok.text.as_str() {
@@ -460,6 +497,23 @@ mod tests {
         // thread::sleep and Duration are fine.
         let fine = "fn f() { std::thread::sleep(std::time::Duration::from_micros(1)); }";
         assert!(lint_file("crates/bench/src/x.rs", fine).is_empty());
+    }
+
+    #[test]
+    fn alloc_free_files_reject_bare_collection_news() {
+        let src = "fn f() { let mut v = Vec::new(); let q: VecDeque<u8> = VecDeque::new(); }";
+        let findings = lint_file("crates/secmem/src/metadata.rs", src);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == "hot-alloc"));
+        // Sized allocations and cold reporting literals stay allowed.
+        let fine = "fn f() { let v = Vec::with_capacity(16); let w = vec![1u8, 2]; }";
+        assert!(lint_file("crates/secmem/src/metadata.rs", fine).is_empty());
+        // The rule is per-file, not per-crate.
+        let elsewhere = "fn f() { let v: Vec<u8> = Vec::new(); }";
+        assert!(lint_file("crates/secmem/src/layout.rs", elsewhere).is_empty());
+        // And test modules are exempt like every other rule.
+        let test_only = "#[cfg(test)]\nmod tests { fn t() { let v: Vec<u8> = Vec::new(); } }";
+        assert!(lint_file("crates/crypto/src/sha256.rs", test_only).is_empty());
     }
 
     #[test]

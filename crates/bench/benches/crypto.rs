@@ -4,8 +4,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use fsencr_crypto::ctr::line_pad_with;
-use fsencr_crypto::{hmac_sha256, pbkdf2_hmac_sha256, sha256, Aes128, Key128, PadDomain, PadInput};
+use fsencr_crypto::ctr::{line_pad, line_pad_with};
+use fsencr_crypto::{
+    digest8_line, hmac_sha256, pbkdf2_hmac_sha256, sha256, sha256_line, Aes128, Key128,
+    PadDomain, PadInput, ScheduleCache,
+};
 
 fn bench_aes(c: &mut Criterion) {
     let aes = Aes128::new(&Key128::from_seed(1));
@@ -35,11 +38,30 @@ fn bench_pad(c: &mut Criterion) {
     c.bench_function("ctr_line_pad_64B", |b| {
         b.iter(|| line_pad_with(&aes, black_box(&input)))
     });
+    // The schedule-cache trade: a cached expanded key against re-running
+    // AES key expansion for every pad (what the controller did before the
+    // cache).
+    let key = Key128::from_seed(2);
+    c.bench_function("ctr_line_pad_cached_schedule", |b| {
+        let mut cache = ScheduleCache::new();
+        b.iter(|| line_pad_with(cache.get(black_box(&key)), black_box(&input)))
+    });
+    c.bench_function("ctr_line_pad_fresh_expansion", |b| {
+        b.iter(|| line_pad(black_box(&key), black_box(&input)))
+    });
 }
 
 fn bench_hash(c: &mut Criterion) {
     let line = [0xabu8; 64];
     c.bench_function("sha256_64B_line", |b| b.iter(|| sha256(black_box(&line))));
+    // The one-shot line fast path against the streaming hasher above —
+    // the per-line digest the Merkle machinery computes.
+    c.bench_function("sha256_line_fast_path", |b| {
+        b.iter(|| sha256_line(black_box(&line)))
+    });
+    c.bench_function("digest8_line_fast_path", |b| {
+        b.iter(|| digest8_line(black_box(&line)))
+    });
     let page = vec![0xcdu8; 4096];
     c.bench_function("sha256_4KB_page", |b| b.iter(|| sha256(black_box(&page))));
     c.bench_function("hmac_sha256_64B", |b| {

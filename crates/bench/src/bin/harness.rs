@@ -1,7 +1,7 @@
 //! Experiment driver: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! harness [--jobs N] <experiment> [scale]
+//! harness [--jobs N] [--no-cache] <experiment> [scale]
 //!
 //! experiments:
 //!   fig3        software-encryption overhead (Whisper)
@@ -12,7 +12,8 @@
 //!   table1      vulnerability matrix
 //!   params      Table III simulation parameters
 //!   list        Table II workload descriptions
-//!   bench       engine + AES self-benchmark -> BENCH_harness.json
+//!   bench       engine + crypto self-benchmarks -> BENCH_harness.json
+//!   bench-check schema-check an existing BENCH_harness.json
 //!   profile <fig> [scale]
 //!               cycle-attribution profile of a figure's cells
 //!               -> stdout + PROFILE_<fig>.json + PROFILE_<fig>_trace.json
@@ -27,19 +28,29 @@
 //! experiment cells run concurrently; the default is the host's available
 //! parallelism. The figures are identical at any worker count — only the
 //! wall-clock changes.
+//!
+//! Figure subcommands memoize finished cells in `CACHE_cells.json`,
+//! keyed by a content hash of the full cell specification (config +
+//! workload parameters + crate version), so re-running an unchanged
+//! figure skips its simulations and prints byte-identical output.
+//! `--no-cache` disables the cache; deleting the file invalidates it.
 
 #![forbid(unsafe_code)]
 
 use std::time::{Duration, Instant};
 
 use fsencr_bench as exp;
-use fsencr_bench::report::{AesThroughput, BenchReport};
-use fsencr_crypto::{Aes128, Key128};
-use fsencr_sim::MachineConfig;
+use fsencr_bench::jsonio::Json;
+use fsencr_bench::report::{AesThroughput, BenchReport, DigestThroughput, MetaThroughput, PadThroughput};
+use fsencr_crypto::{line_pad, line_pad_with, sha256, sha256_line, Aes128, Key128, PadDomain, PadInput};
+use fsencr_nvm::{NvmDevice, PageId};
+use fsencr_secmem::{MetadataLayout, MetadataSystem};
+use fsencr_sim::config::{CacheConfig, NvmConfig, SecurityConfig};
+use fsencr_sim::{Cycle, MachineConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness [--jobs N] <fig3|fig8-10|fig11|fig12-14|fig15|table1|params|list|bench|ablation-ott|ablation-osiris|ablation-direct|ablation-partition|all> [scale]\n       harness [--jobs N] profile <fig3|fig8-10|fig11|fig12-14> [scale]"
+        "usage: harness [--jobs N] [--no-cache] <fig3|fig8-10|fig11|fig12-14|fig15|table1|params|list|bench|bench-check|ablation-ott|ablation-osiris|ablation-direct|ablation-partition|all> [scale]\n       harness [--jobs N] profile <fig3|fig8-10|fig11|fig12-14> [scale]\n\nFigure subcommands reuse cached cell results from CACHE_cells.json\n(content-addressed; output is byte-identical either way). `--no-cache`\ndisables the cache; deleting the file invalidates it."
     );
     std::process::exit(2);
 }
@@ -134,6 +145,171 @@ fn aes_throughput() -> AesThroughput {
     }
 }
 
+/// Best rate over several short measurement windows: scheduler noise and
+/// frequency ramps only ever make a window slower, so the max is the
+/// most faithful estimate of the code's actual throughput.
+fn best_of_windows(mut window: impl FnMut(Duration) -> f64) -> f64 {
+    (0..5).map(|_| window(Duration::from_millis(60))).fold(0.0, f64::max)
+}
+
+/// Measures 64-byte line hashing: the two-block `sha256_line` fast path
+/// against the streaming hasher it bypasses.
+fn digest_throughput() -> DigestThroughput {
+    let hashes_per_sec = |f: &dyn Fn(&[u8; 64]) -> [u8; 32]| {
+        let mut line = [0x5au8; 64];
+        for _ in 0..1_000 {
+            let d = f(&line);
+            line[..32].copy_from_slice(&d);
+        }
+        let rate = best_of_windows(|budget| {
+            let mut hashes = 0u64;
+            let start = Instant::now();
+            while start.elapsed() < budget {
+                for _ in 0..1_024 {
+                    // Chain the digest back into the line so the loop
+                    // cannot be elided.
+                    let d = f(&line);
+                    line[..32].copy_from_slice(&d);
+                }
+                hashes += 1_024;
+            }
+            hashes as f64 / start.elapsed().as_secs_f64()
+        });
+        std::hint::black_box(line);
+        rate
+    };
+    DigestThroughput {
+        line_hashes_per_sec: hashes_per_sec(&|l| sha256_line(l)),
+        streaming_hashes_per_sec: hashes_per_sec(&|l| sha256(l)),
+    }
+}
+
+/// Measures CTR pad generation: a reused expanded key schedule (what the
+/// `ScheduleCache` serves on every hit) against per-pad key expansion.
+fn pad_throughput() -> PadThroughput {
+    let key = Key128::from_seed(0x9ad5);
+    let aes = Aes128::new(&key);
+    let mut input = PadInput {
+        page_id: 0x1234,
+        block_in_page: 3,
+        major: 7,
+        minor: 0,
+        domain: PadDomain::File,
+    };
+    let mut pads_per_sec = |f: &mut dyn FnMut(&PadInput) -> [u8; 64]| {
+        let mut acc = 0u8;
+        for _ in 0..256 {
+            input.minor = input.minor.wrapping_add(1) & 0x7f;
+            acc ^= f(&input)[0];
+        }
+        let rate = best_of_windows(|budget| {
+            let mut pads = 0u64;
+            let start = Instant::now();
+            while start.elapsed() < budget {
+                for _ in 0..256 {
+                    input.minor = input.minor.wrapping_add(1) & 0x7f;
+                    acc ^= f(&input)[0];
+                }
+                pads += 256;
+            }
+            pads as f64 / start.elapsed().as_secs_f64()
+        });
+        std::hint::black_box(acc);
+        rate
+    };
+    PadThroughput {
+        cached_pads_per_sec: pads_per_sec(&mut |i| line_pad_with(&aes, i)),
+        uncached_pads_per_sec: pads_per_sec(&mut |i| line_pad(&key, i)),
+    }
+}
+
+/// Measures the metadata persist path end to end: repeated
+/// `persist_block` calls on unchanged lines, where the digest memo turns
+/// each parent bump's line hash into a map probe, against the same
+/// sequence with the memo disabled (every bump re-hashes the line).
+/// This is the line-digest fast path as the integrity pipeline actually
+/// exercises it.
+fn meta_throughput() -> MetaThroughput {
+    const LINES: u64 = 32;
+    let build = |memo: bool| -> (MetadataSystem, NvmDevice, Cycle) {
+        let layout = MetadataLayout::new(64 * 4096, 4096);
+        let mut cfg = SecurityConfig::default();
+        cfg.metadata_cache = CacheConfig {
+            size_bytes: 64 * 64, // 64 lines
+            ways: 8,
+            block_bytes: 64,
+            latency_cycles: 3,
+        };
+        let mut sys = MetadataSystem::new(layout, &cfg);
+        sys.set_digest_memo_enabled(memo);
+        let mut nvm = NvmDevice::new(NvmConfig::default());
+        let mut t = Cycle::ZERO;
+        for p in 0..LINES {
+            let addr = sys.layout().mecb_addr(PageId::new(p));
+            t = sys
+                .write_block(&mut nvm, t, addr, [p as u8; 64])
+                .expect("fresh tree verifies")
+                .done;
+        }
+        t = sys.flush(&mut nvm, t);
+        (sys, nvm, t)
+    };
+    let digests_per_sec = |memo: bool| {
+        let (mut sys, mut nvm, _) = build(memo);
+        let lines: Vec<_> = (0..LINES)
+            .map(|p| {
+                let addr = sys.layout().mecb_addr(PageId::new(p));
+                let (bytes, _) = sys
+                    .read_block(&mut nvm, Cycle::ZERO, addr)
+                    .expect("cached line reads back");
+                (addr, bytes)
+            })
+            .collect();
+        let mut acc = 0u8;
+        for (addr, bytes) in &lines {
+            acc ^= sys.trusted_line_digest(*addr, bytes)[0];
+        }
+        let rate = best_of_windows(|budget| {
+            let mut digests = 0u64;
+            let start = Instant::now();
+            while start.elapsed() < budget {
+                for (addr, bytes) in &lines {
+                    acc ^= sys.trusted_line_digest(*addr, bytes)[0];
+                }
+                digests += LINES;
+            }
+            digests as f64 / start.elapsed().as_secs_f64()
+        });
+        std::hint::black_box(acc);
+        rate
+    };
+    let persists_per_sec = |memo: bool| {
+        let (mut sys, mut nvm, mut t) = build(memo);
+        let addrs: Vec<_> =
+            (0..LINES).map(|p| sys.layout().mecb_addr(PageId::new(p))).collect();
+        for &addr in &addrs {
+            t = sys.persist_block(&mut nvm, t, addr).expect("persist verified line");
+        }
+        best_of_windows(|budget| {
+            let mut persists = 0u64;
+            let start = Instant::now();
+            while start.elapsed() < budget {
+                for &addr in &addrs {
+                    t = sys.persist_block(&mut nvm, t, addr).expect("persist verified line");
+                }
+                persists += LINES;
+            }
+            persists as f64 / start.elapsed().as_secs_f64()
+        })
+    };
+    MetaThroughput {
+        memo_digests_per_sec: digests_per_sec(true),
+        rehash_digests_per_sec: digests_per_sec(false),
+        memo_persists_per_sec: persists_per_sec(true),
+        rehash_persists_per_sec: persists_per_sec(false),
+    }
+}
+
 /// Times one full `fig8_9_10` pass at `scale` with a fixed worker count.
 fn timed_fig8(jobs: usize, scale: f64) -> Duration {
     exp::pool::set_jobs(jobs);
@@ -156,6 +332,36 @@ fn bench(scale: f64, jobs_flag: Option<usize>) {
         aes.reference_blocks_per_sec,
         aes.speedup()
     );
+    eprintln!("[bench] line-digest throughput (single thread)...");
+    let digest = digest_throughput();
+    eprintln!(
+        "[bench]   sha256_line {:.0} h/s, streaming {:.0} h/s, speedup {:.2}x",
+        digest.line_hashes_per_sec,
+        digest.streaming_hashes_per_sec,
+        digest.speedup()
+    );
+    eprintln!("[bench] CTR pad throughput (single thread)...");
+    let pad = pad_throughput();
+    eprintln!(
+        "[bench]   cached schedule {:.0} pad/s, fresh expansion {:.0} pad/s, speedup {:.2}x",
+        pad.cached_pads_per_sec,
+        pad.uncached_pads_per_sec,
+        pad.speedup()
+    );
+    eprintln!("[bench] metadata digest-memo throughput (single thread)...");
+    let meta = meta_throughput();
+    eprintln!(
+        "[bench]   digest path: memo {:.0} /s, re-hash {:.0} /s, speedup {:.2}x",
+        meta.memo_digests_per_sec,
+        meta.rehash_digests_per_sec,
+        meta.speedup()
+    );
+    eprintln!(
+        "[bench]   persist path: memo {:.0} /s, re-hash {:.0} /s, speedup {:.2}x",
+        meta.memo_persists_per_sec,
+        meta.rehash_persists_per_sec,
+        meta.persist_speedup()
+    );
     eprintln!("[bench] engine serial run (jobs=1, scale {scale})...");
     exp::report::take_cell_records();
     let serial_wall = timed_fig8(1, scale);
@@ -170,6 +376,9 @@ fn bench(scale: f64, jobs_flag: Option<usize>) {
         host_parallelism: host,
         scale,
         aes,
+        digest,
+        pad,
+        meta,
         serial_wall,
         parallel_wall,
         cells,
@@ -183,6 +392,76 @@ fn bench(scale: f64, jobs_flag: Option<usize>) {
     let path = "BENCH_harness.json";
     std::fs::write(path, report.to_json()).expect("write BENCH_harness.json");
     eprintln!("[bench] wrote {path}");
+}
+
+/// `harness bench-check`: validates the schema and required sections of
+/// an existing `BENCH_harness.json` (used by `scripts/verify.sh`). Exits
+/// non-zero with a diagnostic on any mismatch.
+fn bench_check(path: &str) {
+    let fail = |msg: &str| -> ! {
+        eprintln!("[bench-check] {path}: {msg}");
+        std::process::exit(1);
+    };
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("unreadable: {e}")));
+    let json = Json::parse(&text).unwrap_or_else(|e| fail(&format!("invalid JSON: {e}")));
+    match json.get("schema").and_then(Json::as_str) {
+        Some("fsencr-bench-harness/2") => {}
+        other => fail(&format!("schema mismatch: {other:?}")),
+    }
+    for key in ["host_parallelism", "jobs", "scale"] {
+        if json.get(key).and_then(Json::as_f64).is_none() {
+            fail(&format!("missing numeric field {key:?}"));
+        }
+    }
+    let sections: &[(&str, &[&str])] = &[
+        ("aes", &["ttable_blocks_per_sec", "reference_blocks_per_sec", "speedup"]),
+        ("digest", &["line_hashes_per_sec", "streaming_hashes_per_sec", "speedup"]),
+        ("pad", &["cached_pads_per_sec", "uncached_pads_per_sec", "speedup"]),
+        (
+            "metadata",
+            &[
+                "memo_digests_per_sec",
+                "rehash_digests_per_sec",
+                "speedup",
+                "memo_persists_per_sec",
+                "rehash_persists_per_sec",
+                "persist_speedup",
+            ],
+        ),
+        ("engine", &["serial_wall_s", "parallel_wall_s", "speedup"]),
+    ];
+    for (section, fields) in sections {
+        let Some(obj) = json.get(section) else {
+            fail(&format!("missing section {section:?}"));
+        };
+        for f in *fields {
+            match obj.get(f).and_then(Json::as_f64) {
+                Some(v) if v >= 0.0 => {}
+                other => fail(&format!("{section}.{f}: bad value {other:?}")),
+            }
+        }
+    }
+    let Some(cells) = json.get("engine").and_then(|e| e.get("cells")).and_then(Json::as_arr)
+    else {
+        fail("engine.cells missing or not an array");
+    };
+    if cells.is_empty() {
+        fail("engine.cells is empty");
+    }
+    for cell in cells {
+        for f in ["workload", "mode"] {
+            if cell.get(f).and_then(Json::as_str).is_none() {
+                fail(&format!("cell missing string field {f:?}"));
+            }
+        }
+        for f in ["wall_s", "sim_cycles", "nvm_lines", "sim_lines_per_sec"] {
+            if cell.get(f).and_then(Json::as_f64).is_none() {
+                fail(&format!("cell missing numeric field {f:?}"));
+            }
+        }
+    }
+    println!("[bench-check] {path}: OK ({} cells)", cells.len());
 }
 
 /// `harness profile <fig>`: re-runs the figure's cells with the machine
@@ -205,7 +484,9 @@ fn profile(fig: &str, scale: f64) {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut jobs_flag: Option<usize> = None;
-    // Accept `--jobs N` and `--jobs=N` anywhere on the command line.
+    let mut no_cache = false;
+    // Accept `--jobs N`, `--jobs=N` and `--no-cache` anywhere on the
+    // command line.
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--jobs" {
@@ -214,6 +495,9 @@ fn main() {
             args.drain(i..i + 2);
         } else if let Some(v) = args[i].strip_prefix("--jobs=") {
             jobs_flag = Some(v.parse().unwrap_or_else(|_| usage()));
+            args.remove(i);
+        } else if args[i] == "--no-cache" {
+            no_cache = true;
             args.remove(i);
         } else {
             i += 1;
@@ -240,9 +524,28 @@ fn main() {
         eprintln!("[harness] completed in {:.1?}", t0.elapsed());
         return;
     }
+    if which == "bench-check" {
+        bench_check(args.get(1).map_or("BENCH_harness.json", String::as_str));
+        return;
+    }
     let scale_arg: Option<f64> = args.get(1).map(|s| s.parse().unwrap_or_else(|_| usage()));
     let scale = scale_arg.unwrap_or(1.0);
     assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+
+    // The cell cache serves figure subcommands only. `bench` and
+    // `profile` keep it disabled: `bench` times the simulation engine (a
+    // warm cache would skip the very work being measured) and `profile`
+    // needs the observer to actually run.
+    let cacheable = matches!(
+        which.as_str(),
+        "fig3" | "fig8-10" | "fig8" | "fig9" | "fig10" | "fig11" | "fig12-14" | "fig12"
+            | "fig13" | "fig14" | "fig15" | "ablation-ott" | "ablation-osiris"
+            | "ablation-direct" | "ablation-partition" | "all"
+    );
+    let use_cache = cacheable && !no_cache;
+    if use_cache {
+        exp::cellcache::configure(Some(std::path::PathBuf::from("CACHE_cells.json")));
+    }
 
     let t0 = std::time::Instant::now();
     match which.as_str() {
@@ -288,6 +591,17 @@ fn main() {
             println!("{}", exp::ablation_partition(scale));
         }
         _ => usage(),
+    }
+    if use_cache {
+        let (hits, misses) = exp::cellcache::counters();
+        if let Err(e) = exp::cellcache::persist() {
+            eprintln!("[cache] warning: {e}");
+        }
+        eprintln!(
+            "[cache] {hits} hits, {misses} misses ({} cells in CACHE_cells.json)",
+            exp::cellcache::len()
+        );
+        exp::cellcache::configure(None);
     }
     eprintln!("[harness] completed in {:.1?}", t0.elapsed());
 }

@@ -14,7 +14,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cellcache;
 pub mod experiments;
+pub mod jsonio;
 pub mod pool;
 pub mod profile;
 pub mod report;

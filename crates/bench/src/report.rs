@@ -10,7 +10,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": "fsencr-bench-harness/1",
+//!   "schema": "fsencr-bench-harness/2",
 //!   "host_parallelism": 4,
 //!   "jobs": 4,
 //!   "scale": 0.05,
@@ -18,6 +18,24 @@
 //!     "ttable_blocks_per_sec": 1.0e7,
 //!     "reference_blocks_per_sec": 2.0e6,
 //!     "speedup": 5.0
+//!   },
+//!   "digest": {
+//!     "line_hashes_per_sec": 8.0e6,
+//!     "streaming_hashes_per_sec": 4.0e6,
+//!     "speedup": 2.0
+//!   },
+//!   "pad": {
+//!     "cached_pads_per_sec": 3.0e6,
+//!     "uncached_pads_per_sec": 1.0e6,
+//!     "speedup": 3.0
+//!   },
+//!   "metadata": {
+//!     "memo_digests_per_sec": 2.0e7,
+//!     "rehash_digests_per_sec": 2.0e6,
+//!     "speedup": 10.0,
+//!     "memo_persists_per_sec": 1.0e6,
+//!     "rehash_persists_per_sec": 0.7e6,
+//!     "persist_speedup": 1.43
 //!   },
 //!   "engine": {
 //!     "serial_wall_s": 10.0,
@@ -102,6 +120,88 @@ impl AesThroughput {
     }
 }
 
+/// Line-digest microbenchmark: the one-shot 64-byte fast path against
+/// the streaming hasher it bypasses.
+#[derive(Debug, Clone, Copy)]
+pub struct DigestThroughput {
+    /// `sha256_line` hashes per second.
+    pub line_hashes_per_sec: f64,
+    /// Streaming `sha256` hashes of the same 64-byte input per second.
+    pub streaming_hashes_per_sec: f64,
+}
+
+impl DigestThroughput {
+    /// Fast path over streaming speedup.
+    pub fn speedup(&self) -> f64 {
+        if self.streaming_hashes_per_sec <= 0.0 {
+            0.0
+        } else {
+            self.line_hashes_per_sec / self.streaming_hashes_per_sec
+        }
+    }
+}
+
+/// CTR pad-generation microbenchmark: reusing a cached AES key schedule
+/// against re-expanding the key for every 64-byte pad.
+#[derive(Debug, Clone, Copy)]
+pub struct PadThroughput {
+    /// `line_pad_with` (cached schedule) pads per second.
+    pub cached_pads_per_sec: f64,
+    /// `line_pad` (fresh key expansion) pads per second.
+    pub uncached_pads_per_sec: f64,
+}
+
+impl PadThroughput {
+    /// Cached over uncached speedup.
+    pub fn speedup(&self) -> f64 {
+        if self.uncached_pads_per_sec <= 0.0 {
+            0.0
+        } else {
+            self.cached_pads_per_sec / self.uncached_pads_per_sec
+        }
+    }
+}
+
+/// Metadata-system microbenchmark, two granularities of the same memoized
+/// line-digest path. The *digest* pair times `trusted_line_digest` — the
+/// exact call parent-digest write-backs make — with the memo serving hits
+/// against the memo disabled (every call re-hashes). The *persist* pair
+/// times full `persist_block` round trips of unchanged content, where the
+/// digest saving is diluted by the simulated NVM write and cache
+/// bookkeeping that surround it.
+#[derive(Debug, Clone, Copy)]
+pub struct MetaThroughput {
+    /// `trusted_line_digest` calls per second with the memo serving hits.
+    pub memo_digests_per_sec: f64,
+    /// The same calls with the memo disabled (every call re-hashes).
+    pub rehash_digests_per_sec: f64,
+    /// `persist_block` calls per second with the digest memo enabled.
+    pub memo_persists_per_sec: f64,
+    /// The same call sequence with the memo disabled (every parent bump
+    /// re-hashes the line).
+    pub rehash_persists_per_sec: f64,
+}
+
+impl MetaThroughput {
+    /// Memo-hit over re-hash speedup on the line-digest path itself.
+    pub fn speedup(&self) -> f64 {
+        if self.rehash_digests_per_sec <= 0.0 {
+            0.0
+        } else {
+            self.memo_digests_per_sec / self.rehash_digests_per_sec
+        }
+    }
+
+    /// Memoized over re-hashing speedup of the end-to-end persist path.
+    pub fn persist_speedup(&self) -> f64 {
+        if self.rehash_persists_per_sec <= 0.0 {
+            0.0
+        } else {
+            self.memo_persists_per_sec / self.rehash_persists_per_sec
+        }
+    }
+}
+
 /// Everything `harness bench` measures.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -113,6 +213,12 @@ pub struct BenchReport {
     pub scale: f64,
     /// AES fast-path microbenchmark.
     pub aes: AesThroughput,
+    /// Line-digest fast-path microbenchmark.
+    pub digest: DigestThroughput,
+    /// CTR pad schedule-cache microbenchmark.
+    pub pad: PadThroughput,
+    /// Metadata-system digest-memo microbenchmark.
+    pub meta: MetaThroughput,
     /// Wall-clock of the serial (`jobs = 1`) engine run.
     pub serial_wall: Duration,
     /// Wall-clock of the parallel engine run.
@@ -150,13 +256,25 @@ impl BenchReport {
             ));
         }
         format!(
-            "{{\n  \"schema\": \"fsencr-bench-harness/1\",\n  \"host_parallelism\": {},\n  \"jobs\": {},\n  \"scale\": {},\n  \"aes\": {{\n    \"ttable_blocks_per_sec\": {},\n    \"reference_blocks_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"engine\": {{\n    \"serial_wall_s\": {},\n    \"parallel_wall_s\": {},\n    \"speedup\": {},\n    \"cells\": [\n{}\n    ]\n  }}\n}}\n",
+            "{{\n  \"schema\": \"fsencr-bench-harness/2\",\n  \"host_parallelism\": {},\n  \"jobs\": {},\n  \"scale\": {},\n  \"aes\": {{\n    \"ttable_blocks_per_sec\": {},\n    \"reference_blocks_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"digest\": {{\n    \"line_hashes_per_sec\": {},\n    \"streaming_hashes_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"pad\": {{\n    \"cached_pads_per_sec\": {},\n    \"uncached_pads_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"metadata\": {{\n    \"memo_digests_per_sec\": {},\n    \"rehash_digests_per_sec\": {},\n    \"speedup\": {},\n    \"memo_persists_per_sec\": {},\n    \"rehash_persists_per_sec\": {},\n    \"persist_speedup\": {}\n  }},\n  \"engine\": {{\n    \"serial_wall_s\": {},\n    \"parallel_wall_s\": {},\n    \"speedup\": {},\n    \"cells\": [\n{}\n    ]\n  }}\n}}\n",
             self.host_parallelism,
             self.jobs,
             json_f64(self.scale),
             json_f64(self.aes.ttable_blocks_per_sec),
             json_f64(self.aes.reference_blocks_per_sec),
             json_f64(self.aes.speedup()),
+            json_f64(self.digest.line_hashes_per_sec),
+            json_f64(self.digest.streaming_hashes_per_sec),
+            json_f64(self.digest.speedup()),
+            json_f64(self.pad.cached_pads_per_sec),
+            json_f64(self.pad.uncached_pads_per_sec),
+            json_f64(self.pad.speedup()),
+            json_f64(self.meta.memo_digests_per_sec),
+            json_f64(self.meta.rehash_digests_per_sec),
+            json_f64(self.meta.speedup()),
+            json_f64(self.meta.memo_persists_per_sec),
+            json_f64(self.meta.rehash_persists_per_sec),
+            json_f64(self.meta.persist_speedup()),
             json_f64(self.serial_wall.as_secs_f64()),
             json_f64(self.parallel_wall.as_secs_f64()),
             json_f64(self.engine_speedup()),
@@ -207,6 +325,20 @@ mod tests {
                 ttable_blocks_per_sec: 4.0e6,
                 reference_blocks_per_sec: 1.0e6,
             },
+            digest: DigestThroughput {
+                line_hashes_per_sec: 8.0e6,
+                streaming_hashes_per_sec: 4.0e6,
+            },
+            pad: PadThroughput {
+                cached_pads_per_sec: 3.0e6,
+                uncached_pads_per_sec: 1.0e6,
+            },
+            meta: MetaThroughput {
+                memo_digests_per_sec: 2.0e7,
+                rehash_digests_per_sec: 2.0e6,
+                memo_persists_per_sec: 1.0e6,
+                rehash_persists_per_sec: 0.8e6,
+            },
             serial_wall: Duration::from_millis(900),
             parallel_wall: Duration::from_millis(300),
             cells: vec![CellRecord {
@@ -223,6 +355,10 @@ mod tests {
     fn speedups_are_ratios() {
         let r = sample_report();
         assert!((r.aes.speedup() - 4.0).abs() < 1e-9);
+        assert!((r.digest.speedup() - 2.0).abs() < 1e-9);
+        assert!((r.pad.speedup() - 3.0).abs() < 1e-9);
+        assert!((r.meta.speedup() - 10.0).abs() < 1e-9);
+        assert!((r.meta.persist_speedup() - 1.25).abs() < 1e-9);
         assert!((r.engine_speedup() - 3.0).abs() < 1e-9);
         assert_eq!(r.cells[0].sim_lines_per_sec(), 2000.0);
     }
@@ -230,7 +366,11 @@ mod tests {
     #[test]
     fn json_is_well_formed_enough() {
         let json = sample_report().to_json();
-        assert!(json.contains("\"schema\": \"fsencr-bench-harness/1\""));
+        assert!(json.contains("\"schema\": \"fsencr-bench-harness/2\""));
+        assert!(json.contains("\"line_hashes_per_sec\""));
+        assert!(json.contains("\"cached_pads_per_sec\""));
+        assert!(json.contains("\"memo_digests_per_sec\""));
+        assert!(json.contains("\"memo_persists_per_sec\""));
         assert!(json.contains("\\\"zipf\\\""), "quotes must be escaped: {json}");
         assert!(json.contains("\"speedup\": 4.000000"));
         // Balanced braces/brackets (cheap sanity check without a parser).

@@ -1,0 +1,45 @@
+//! The figure-cell cache must be behaviorally invisible: the same figure
+//! rendered with the cache disabled, with a cold cache (all misses), and
+//! with a hot cache (all hits, no simulation at all) must be
+//! byte-identical. This is the acceptance property behind the
+//! `CACHE_cells.json` fast path — a stale or lossy cache would show up
+//! here as a diff.
+//!
+//! Kept as a single test: the cache is process-global, so the phases
+//! must run sequentially.
+
+use fsencr_bench as exp;
+use fsencr_bench::cellcache;
+
+#[test]
+fn figure_output_is_identical_disabled_cold_and_hot() {
+    const SCALE: f64 = 0.01;
+    let dir = std::env::temp_dir().join(format!("fsencr-cellcache-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("CACHE_cells.json");
+
+    // Reference: cache disabled, every cell simulated.
+    cellcache::configure(None);
+    let disabled = exp::fig3(SCALE).to_string();
+
+    // Cold: same cells simulated, results recorded.
+    cellcache::configure(Some(path.clone()));
+    let cold = exp::fig3(SCALE).to_string();
+    let (hits, misses) = cellcache::counters();
+    assert_eq!(hits, 0, "a fresh cache cannot hit");
+    assert!(misses > 0, "cold run must consult the cache");
+    cellcache::persist().expect("persist cache");
+    cellcache::configure(None);
+
+    // Hot: reloaded from disk, every cell served without simulating.
+    cellcache::configure(Some(path));
+    let hot = exp::fig3(SCALE).to_string();
+    let (hits, misses) = cellcache::counters();
+    assert!(hits > 0, "hot run must hit");
+    assert_eq!(misses, 0, "hot run must not re-simulate anything");
+    cellcache::configure(None);
+
+    assert_eq!(disabled, cold, "cold cache changed the rendered figure");
+    assert_eq!(cold, hot, "hot cache changed the rendered figure");
+    let _ = std::fs::remove_dir_all(&dir);
+}

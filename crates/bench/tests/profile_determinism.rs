@@ -78,9 +78,10 @@ fn figures_are_unchanged_by_an_interleaved_profile_run() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn snapshot_matches_the_legacy_counters_exactly() {
+fn snapshot_counters_are_internally_consistent() {
     // Pinned workload: file creation plus a strided write/persist/read mix.
+    // The legacy accessors this test used to diff against are gone; the
+    // invariants they witnessed are stated directly on the snapshot.
     let mut m = Machine::new(MachineOpts::small_test(), SecurityMode::FsEncr);
     let h = m
         .create(UserId::new(1), GroupId::new(1), "pin", Mode::PRIVATE, Some("pw"))
@@ -97,34 +98,32 @@ fn snapshot_matches_the_legacy_counters_exactly() {
     m.sync_cores();
 
     let s = m.snapshot();
-    let ctrl = m.controller();
-    assert_eq!(s.reads, ctrl.stats().reads.get());
-    assert_eq!(s.writes, ctrl.stats().writes.get());
-    assert_eq!(s.file_accesses, ctrl.stats().file_accesses.get());
-    assert_eq!(s.overflow_reencryptions, ctrl.stats().overflow_reencryptions.get());
-    assert_eq!(s.shredded_pages, ctrl.stats().shredded_pages.get());
-    assert_eq!(s.ott_hits, ctrl.ott_stats().hits.get());
-    assert_eq!(s.ott_misses, ctrl.ott_stats().misses.get());
-    assert_eq!(s.ott_evictions, ctrl.ott_stats().evictions.get());
-    let meta = ctrl.meta_stats();
-    assert_eq!(s.meta_leaf_hits, meta.leaf_hits.get());
-    assert_eq!(s.meta_leaf_misses, meta.leaf_misses.get());
-    assert_eq!(s.meta_mecb_hits, meta.mecb_hits.get());
-    assert_eq!(s.meta_mecb_misses, meta.mecb_misses.get());
-    assert_eq!(s.meta_fecb_hits, meta.fecb_hits.get());
-    assert_eq!(s.meta_fecb_misses, meta.fecb_misses.get());
-    assert_eq!(s.meta_spill_hits, meta.spill_hits.get());
-    assert_eq!(s.meta_spill_misses, meta.spill_misses.get());
-    assert_eq!(s.meta_node_hits, meta.node_hits.get());
-    assert_eq!(s.meta_node_misses, meta.node_misses.get());
-    assert_eq!(s.meta_verify_climbs, meta.verify_climbs.get());
-    assert_eq!(s.meta_verify_levels, meta.verify_levels.get());
-    assert_eq!(s.meta_update_bumps, meta.update_bumps.get());
-    assert_eq!(s.meta_osiris_persists, meta.osiris_persists.get());
+    // The pinned mix actually exercised the datapath (reads are absorbed
+    // by the cache hierarchy before the controller, so only writes are
+    // guaranteed to reach it).
+    assert!(s.writes >= 96, "{}", s.writes);
+    assert!(s.file_accesses > 0);
+    assert!(s.cycles > 0);
+    // Per-structure leaf counters partition the coarse totals.
+    assert_eq!(s.meta_leaf_hits, s.meta_mecb_hits + s.meta_fecb_hits + s.meta_spill_hits);
+    assert_eq!(
+        s.meta_leaf_misses,
+        s.meta_mecb_misses + s.meta_fecb_misses + s.meta_spill_misses
+    );
+    // Node fetches and node misses are the same event; every leaf miss
+    // starts exactly one climb, each at least one level deep.
+    assert_eq!(s.meta_node_misses, s.meta_node_fetches);
+    assert_eq!(s.meta_verify_climbs, s.meta_leaf_misses);
+    assert!(s.meta_verify_levels >= s.meta_verify_climbs);
+    // The derived hit rate is the canonical computation over the
+    // snapshot's own counters, bit-for-bit.
     assert_eq!(
         s.meta_hit_rate().to_bits(),
-        ctrl.meta_hit_rate().to_bits(),
-        "derived hit rate must match the legacy computation bit-for-bit"
+        fsencr_sim::stats::hit_rate(s.meta_cache_hits, s.meta_cache_misses).to_bits()
+    );
+    assert_eq!(
+        s.ott_hit_rate().to_bits(),
+        fsencr_sim::stats::hit_rate(s.ott_hits, s.ott_misses).to_bits()
     );
     // The delta of two snapshots reproduces a window the way the old
     // reset-based measurement did: counters restart from zero.

@@ -194,8 +194,16 @@ impl Cache {
     /// Drains every dirty line (marking them clean), for full-cache flushes
     /// at crash or shutdown points.
     pub fn drain_dirty(&mut self) -> Vec<Eviction> {
-        let sets_len = self.sets.len() as u64;
         let mut out = Vec::new();
+        self.drain_dirty_into(&mut out);
+        out
+    }
+
+    /// [`Self::drain_dirty`] into a caller-provided buffer, appending in
+    /// the same set-then-way order. Lets flush loops reuse one scratch
+    /// vector instead of allocating per cache per flush.
+    pub fn drain_dirty_into(&mut self, out: &mut Vec<Eviction>) {
+        let sets_len = self.sets.len() as u64;
         for (set_idx, set) in self.sets.iter_mut().enumerate() {
             for entry in set.iter_mut().filter(|e| e.dirty) {
                 entry.dirty = false;
@@ -207,7 +215,6 @@ impl Cache {
                 });
             }
         }
-        out
     }
 
     /// Discards everything without write-back (power loss).

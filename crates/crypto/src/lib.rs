@@ -38,6 +38,7 @@ pub mod ctr;
 pub mod hmac;
 pub mod kdf;
 pub mod key;
+pub mod schedule;
 pub mod sha256;
 
 pub use aes::Aes128;
@@ -45,4 +46,5 @@ pub use ctr::{line_pad, line_pad_into, line_pad_with, xor_in_place, PadDomain, P
 pub use hmac::hmac_sha256;
 pub use kdf::{pbkdf2_hmac_sha256, KeyWrap};
 pub use key::Key128;
-pub use sha256::{sha256, Sha256};
+pub use schedule::ScheduleCache;
+pub use sha256::{digest8_line, sha256, sha256_line, Sha256};

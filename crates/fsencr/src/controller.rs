@@ -31,7 +31,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use fsencr_crypto::{ctr, Aes128, Key128, PadDomain, PadInput};
+use fsencr_crypto::{ctr, Aes128, Key128, PadDomain, PadInput, ScheduleCache};
 use fsencr_nvm::{LineAddr, NvmDevice, PageId, PhysAddr, LINE_BYTES};
 use fsencr_obs::Observer;
 use fsencr_secmem::{EccStore, Fecb, Mecb, MetadataLayout, MetadataSystem, TamperError};
@@ -159,7 +159,8 @@ pub struct MemoryController {
     mem_aes: Aes128,
     mem_key: Key128,
     ott_key: Key128,
-    schedules: HashMap<Key128, Aes128>,
+    /// Expanded AES schedules for file keys, one expansion per key.
+    schedules: ScheduleCache,
     /// Frames currently designated as encrypted DAX file pages.
     file_pages: HashSet<u64>,
     /// FsEncr lock-out after failed boot authentication (Section VI).
@@ -215,7 +216,7 @@ impl MemoryController {
             mem_aes: Aes128::new(&mem_key),
             mem_key,
             ott_key,
-            schedules: HashMap::new(),
+            schedules: ScheduleCache::new(),
             file_pages: HashSet::new(),
             locked: false,
             aes_cycles: cfg.aes_ns,
@@ -304,43 +305,6 @@ impl MemoryController {
         &self.obs
     }
 
-    /// Datapath counters.
-    #[deprecated(since = "0.1.0", note = "use `snapshot()` and diff windows with `StatsSnapshot::delta`")]
-    pub fn stats(&self) -> &CtrlStats {
-        &self.stats
-    }
-
-    /// OTT counters.
-    #[deprecated(since = "0.1.0", note = "use `snapshot()` (`ott_*` fields)")]
-    pub fn ott_stats(&self) -> &crate::ott::OttStats {
-        self.ott.stats()
-    }
-
-    /// Metadata-system counters.
-    #[deprecated(since = "0.1.0", note = "use `snapshot()` (`meta_*` fields)")]
-    pub fn meta_stats(&self) -> &fsencr_secmem::MetaStats {
-        self.meta.stats()
-    }
-
-    /// Metadata-cache hit rate.
-    #[deprecated(since = "0.1.0", note = "use `snapshot().meta_hit_rate()`")]
-    pub fn meta_hit_rate(&self) -> f64 {
-        self.meta.cache_hit_rate()
-    }
-
-    /// Resets every measurement counter (controller, OTT, metadata,
-    /// device).
-    #[deprecated(
-        since = "0.1.0",
-        note = "measurement is reset-free now: capture `snapshot()` at the window start instead"
-    )]
-    pub fn reset_stats(&mut self) {
-        self.stats = CtrlStats::default();
-        self.ott.reset_stats();
-        self.meta.reset_stats();
-        self.nvm.reset_stats();
-    }
-
     /// Whether the frame is currently a DF (encrypted DAX file) page.
     pub fn is_file_page(&self, page: PageId) -> bool {
         self.file_pages.contains(&page.get())
@@ -397,7 +361,7 @@ impl MemoryController {
             minor: fecb.minor(block as usize),
             domain: PadDomain::File,
         };
-        let aes = self.schedules.entry(key).or_insert_with(|| Aes128::new(&key));
+        let aes = self.schedules.get(&key);
         ctr::line_pad_into(aes, &input, &mut self.pad_scratch);
         ctr::xor_in_place(data, &self.pad_scratch);
     }

@@ -20,7 +20,7 @@
 use std::collections::HashMap;
 
 use fsencr_cache::Hierarchy;
-use fsencr_crypto::{ctr, Aes128, Key128, PadDomain, PadInput};
+use fsencr_crypto::{ctr, Key128, PadDomain, PadInput};
 use fsencr_fs::{
     AccessKind, DaxFs, FileHandle, FsError, GroupId, Ino, Mode, PageCacheModel, PageTable,
     Pte, SoftEncrConfig, UserId,
@@ -390,7 +390,7 @@ pub struct Machine {
     /// (written back at least once). Pages outside this set read as
     /// zeroes, matching hole/fresh-block semantics.
     sw_valid: std::collections::HashSet<(u32, usize)>,
-    sw_schedules: HashMap<Key128, Aes128>,
+    sw_schedules: fsencr_crypto::ScheduleCache,
     mem_key: Key128,
     journal_cursor: u64,
     tlbs: Vec<Tlb>,
@@ -464,7 +464,7 @@ impl Machine {
             pc_frames: HashMap::new(),
             pc_free: Vec::new(),
             sw_valid: std::collections::HashSet::new(),
-            sw_schedules: HashMap::new(),
+            sw_schedules: fsencr_crypto::ScheduleCache::new(),
             mem_key,
             journal_cursor: 0,
             tlbs: (0..cores).map(|_| Tlb::new(TLB_ENTRIES)).collect(),
@@ -1274,10 +1274,7 @@ impl Machine {
     // ------------------------------------------------------------------
 
     fn sw_pad(&mut self, fek: Key128, frame: PageId, block: u8) -> [u8; LINE_BYTES] {
-        let aes = self
-            .sw_schedules
-            .entry(fek)
-            .or_insert_with(|| Aes128::new(&fek));
+        let aes = self.sw_schedules.get(&fek);
         ctr::line_pad_with(
             aes,
             &PadInput {

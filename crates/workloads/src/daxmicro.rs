@@ -60,6 +60,13 @@ impl Workload for DaxStride {
         }
     }
 
+    fn spec(&self) -> String {
+        format!(
+            "dax-stride(stride={},file_bytes={},reads={})",
+            self.stride, self.file_bytes, self.reads
+        )
+    }
+
     fn configure(&self, mut opts: MachineOpts) -> MachineOpts {
         opts.pmem_bytes = (self.file_bytes * 2).next_power_of_two().max(32 << 20);
         opts
@@ -138,6 +145,13 @@ impl Workload for DaxSwap {
             128 => "DAX-4".to_string(),
             s => format!("DAX-swap-{s}"),
         }
+    }
+
+    fn spec(&self) -> String {
+        format!(
+            "dax-swap(elem_bytes={},file_bytes={},swaps={})",
+            self.elem_bytes, self.file_bytes, self.swaps
+        )
     }
 
     fn configure(&self, mut opts: MachineOpts) -> MachineOpts {

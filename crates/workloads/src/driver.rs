@@ -12,6 +12,16 @@ pub trait Workload {
     /// Display name (matches Table II, e.g. `Fillrandom-S`).
     fn name(&self) -> String;
 
+    /// A stable, parameter-complete specification string: two instances
+    /// with the same `spec()` behave identically when run. Used as the
+    /// content-addressed cache key of experiment cells, so every
+    /// constructor parameter that affects the run MUST appear here —
+    /// `name()` alone is not enough (e.g. two `DAX-1` configurations can
+    /// differ only in their operation count).
+    fn spec(&self) -> String {
+        self.name()
+    }
+
     /// Adjusts machine parameters (e.g. a larger DAX region) before
     /// construction.
     fn configure(&self, opts: MachineOpts) -> MachineOpts {

@@ -134,6 +134,17 @@ impl Workload for PmemKv {
         format!("{}-{}", self.bench.label(), size)
     }
 
+    fn spec(&self) -> String {
+        format!(
+            "pmemkv(bench={},value_bytes={},keys_per_thread={},ops_per_thread={},threads={})",
+            self.bench.label(),
+            self.value_bytes,
+            self.keys_per_thread,
+            self.ops_per_thread,
+            self.threads
+        )
+    }
+
     fn configure(&self, mut opts: MachineOpts) -> MachineOpts {
         // Room for shards: keys * (value + entry + node amortisation) * 2,
         // with slack for splits and the value log.

@@ -62,6 +62,13 @@ impl Workload for Ycsb {
         "YCSB".to_string()
     }
 
+    fn spec(&self) -> String {
+        format!(
+            "ycsb(records_per_worker={},ops_per_worker={},workers={})",
+            self.records_per_worker, self.ops_per_worker, self.workers
+        )
+    }
+
     fn configure(&self, mut opts: MachineOpts) -> MachineOpts {
         let slots = (self.records_per_worker * 2).next_power_of_two();
         let bytes_per_worker = 4096 + slots * 192;
@@ -154,6 +161,13 @@ impl Workload for HashmapBench {
         "Hashmap".to_string()
     }
 
+    fn spec(&self) -> String {
+        format!(
+            "hashmap(ops_per_thread={},threads={})",
+            self.ops_per_thread, self.threads
+        )
+    }
+
     fn configure(&self, mut opts: MachineOpts) -> MachineOpts {
         let slots = (self.ops_per_thread * 2).next_power_of_two();
         opts.pmem_bytes = ((4096 + slots * 192) * self.threads as u64 * 2)
@@ -238,6 +252,13 @@ impl CtreeBench {
 impl Workload for CtreeBench {
     fn name(&self) -> String {
         "CTree".to_string()
+    }
+
+    fn spec(&self) -> String {
+        format!(
+            "ctree(ops_per_thread={},threads={})",
+            self.ops_per_thread, self.threads
+        )
     }
 
     fn configure(&self, mut opts: MachineOpts) -> MachineOpts {

@@ -17,6 +17,12 @@ cargo clippy --all-targets -- -D warnings
 echo "==> static analysis gate: cargo run -p analysis -- check"
 cargo run --release -q -p analysis -- check
 
+echo "==> harness bench (small scale) + schema check"
+bench_dir="$(mktemp -d)"
+(cd "$bench_dir" && "$OLDPWD/target/release/harness" bench 0.01)
+./target/release/harness bench-check "$bench_dir/BENCH_harness.json"
+rm -rf "$bench_dir"
+
 echo "==> static analysis self-test: lint must fail on the seeded-violation fixtures"
 if cargo run --release -q -p analysis -- lint --root crates/analysis/fixtures/violations >/tmp/fsencr_lint_fixture.out 2>&1; then
     echo "FAIL: lint pass reported the seeded-violation fixture tree as clean" >&2
