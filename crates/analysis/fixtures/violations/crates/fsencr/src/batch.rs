@@ -1,0 +1,23 @@
+//! Seeded-violation fixture: a fake batched-region module that trips
+//! `hot-alloc` — the region ops' inner loops must reuse caller scratch,
+//! never allocate per batch. Never compiled.
+//! A doc-comment Vec::new() here must NOT be flagged.
+
+pub fn read_region(addrs: &[u64]) -> Vec<[u8; 64]> {
+    let mut out = Vec::new();
+    let mut pending: VecDeque<u64> = VecDeque::new();
+    for &addr in addrs {
+        pending.push_back(addr);
+        out.push([0u8; 64]);
+    }
+    let sized_is_fine = Vec::<u8>::with_capacity(addrs.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_allocate() {
+        let scratch: Vec<u8> = Vec::new();
+    }
+}

@@ -55,6 +55,45 @@ fn bench_write_paths(c: &mut Criterion) {
     });
 }
 
+fn bench_region_reads(c: &mut Criterion) {
+    // A primed DF page: region reads against the per-line loop at batch
+    // sizes 1/8/64. Simulated cycles are identical either way; the delta
+    // is the amortized counter-block parses and schedule-cache probes.
+    for lines in [1usize, 8, 64] {
+        let addrs: Vec<PhysAddr> =
+            (0..lines as u64).map(|l| PhysAddr::new(l * 64)).collect();
+        c.bench_function(&format!("ctrl_read_lines_batched_{lines}"), |b| {
+            let mut ctrl = controller(true);
+            for &addr in &addrs {
+                ctrl.write_line(Cycle::ZERO, addr, &[0x33u8; 64]).unwrap();
+            }
+            let mut t = Cycle::ZERO;
+            let mut out = Vec::with_capacity(lines);
+            b.iter(|| {
+                out.clear();
+                t = ctrl.read_lines(t, black_box(&addrs), &mut out).unwrap();
+                out[0][0]
+            })
+        });
+        c.bench_function(&format!("ctrl_read_line_looped_{lines}"), |b| {
+            let mut ctrl = controller(true);
+            for &addr in &addrs {
+                ctrl.write_line(Cycle::ZERO, addr, &[0x33u8; 64]).unwrap();
+            }
+            let mut t = Cycle::ZERO;
+            b.iter(|| {
+                let mut acc = 0u8;
+                for &addr in &addrs {
+                    let (plain, done) = ctrl.read_line(t, black_box(addr)).unwrap();
+                    acc ^= plain[0];
+                    t = done;
+                }
+                acc
+            })
+        });
+    }
+}
+
 fn bench_ott(c: &mut Criterion) {
     c.bench_function("ott_lookup_hit_1024_entries", |b| {
         let mut ott = OpenTunnelTable::new(1024, 20);
@@ -69,5 +108,5 @@ fn bench_ott(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_read_paths, bench_write_paths, bench_ott);
+criterion_group!(benches, bench_read_paths, bench_write_paths, bench_region_reads, bench_ott);
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use fsencr_crypto::ctr::{line_pad, line_pad_with};
+use fsencr_crypto::ctr::{ctr_pads_n, line_pad, line_pad_with};
 use fsencr_crypto::{
     digest8_line, hmac_sha256, pbkdf2_hmac_sha256, sha256, sha256_line, Aes128, Key128,
     PadDomain, PadInput, ScheduleCache,
@@ -48,6 +48,23 @@ fn bench_pad(c: &mut Criterion) {
     });
     c.bench_function("ctr_line_pad_fresh_expansion", |b| {
         b.iter(|| line_pad(black_box(&key), black_box(&input)))
+    });
+    // The multi-lane kernel trade: four counter blocks through the AES
+    // rounds together (sharing the barely-diverged rounds 1-2) against
+    // the block-at-a-time loop, both on the same cached schedule.
+    c.bench_function("ctr_pads_n_4_lanes", |b| {
+        let mut pad = [0u8; 64];
+        b.iter(|| {
+            ctr_pads_n(&aes, black_box(&input), 4, &mut pad);
+            pad[0]
+        })
+    });
+    c.bench_function("ctr_pads_n_1_lane", |b| {
+        let mut pad = [0u8; 64];
+        b.iter(|| {
+            ctr_pads_n(&aes, black_box(&input), 1, &mut pad);
+            pad[0]
+        })
     });
 }
 

@@ -41,9 +41,12 @@ use std::time::{Duration, Instant};
 
 use fsencr_bench as exp;
 use fsencr_bench::jsonio::Json;
-use fsencr_bench::report::{AesThroughput, BenchReport, DigestThroughput, MetaThroughput, PadThroughput};
-use fsencr_crypto::{line_pad, line_pad_with, sha256, sha256_line, Aes128, Key128, PadDomain, PadInput};
-use fsencr_nvm::{NvmDevice, PageId};
+use fsencr::controller::{CtrlMode, MemoryController};
+use fsencr_bench::report::{
+    AesThroughput, BatchThroughput, BenchReport, DigestThroughput, MetaThroughput, PadThroughput,
+};
+use fsencr_crypto::{ctr_pads_n, line_pad, line_pad_with, sha256, sha256_line, Aes128, Key128, PadDomain, PadInput};
+use fsencr_nvm::{NvmDevice, PageId, PhysAddr};
 use fsencr_secmem::{MetadataLayout, MetadataSystem};
 use fsencr_sim::config::{CacheConfig, NvmConfig, SecurityConfig};
 use fsencr_sim::{Cycle, MachineConfig};
@@ -310,6 +313,119 @@ fn meta_throughput() -> MetaThroughput {
     }
 }
 
+/// Measures the two host-side wins of the page-batched datapath. The pad
+/// pair runs `ctr_pads_n` four lanes at a time against one pad per call
+/// over the same cached schedule. The read pair runs a 64-line
+/// `read_lines` region read of a primed file page against the equivalent
+/// per-line `read_line` loop — identical simulated cycles either way, so
+/// the delta is purely the amortized counter-block parses and
+/// schedule-cache probes.
+fn batch_throughput() -> BatchThroughput {
+    let aes = Aes128::new(&Key128::from_seed(0xba7c));
+    let mut input = PadInput {
+        page_id: 0x88,
+        block_in_page: 5,
+        major: 3,
+        minor: 0,
+        domain: PadDomain::File,
+    };
+    let mut pads_per_sec = |lanes: usize| {
+        let mut pad = [0u8; 64];
+        let mut acc = 0u8;
+        for _ in 0..256 {
+            input.minor = input.minor.wrapping_add(1) & 0x7f;
+            ctr_pads_n(&aes, &input, lanes, &mut pad);
+            acc ^= pad[0];
+        }
+        let rate = best_of_windows(|budget| {
+            let mut pads = 0u64;
+            let start = Instant::now();
+            while start.elapsed() < budget {
+                for _ in 0..256 {
+                    input.minor = input.minor.wrapping_add(1) & 0x7f;
+                    ctr_pads_n(&aes, &input, lanes, &mut pad);
+                    acc ^= pad[0];
+                }
+                pads += 256;
+            }
+            pads as f64 / start.elapsed().as_secs_f64()
+        });
+        std::hint::black_box(acc);
+        rate
+    };
+    let quad_pads_per_sec = pads_per_sec(4);
+    let single_pads_per_sec = pads_per_sec(1);
+
+    // A controller with one primed DF page: key installed, FECB stamped,
+    // every line written once, metadata cache warm.
+    let build = || -> (MemoryController, Vec<PhysAddr>, Cycle) {
+        let layout = MetadataLayout::new(64 * 4096, 8192);
+        let cfg = SecurityConfig::default();
+        let mut ctrl = MemoryController::new(
+            CtrlMode::Encrypted,
+            layout,
+            &cfg,
+            Key128::from_seed(1),
+            Key128::from_seed(2),
+            NvmDevice::new(NvmConfig::default()),
+        );
+        let mut t = ctrl
+            .install_key(Cycle::ZERO, 1, 7, Key128::from_seed(0xfee))
+            .expect("fresh OTT accepts a key");
+        let page = PageId::new(2);
+        t = ctrl.stamp_file_page(t, page, 1, 7).expect("fresh tree verifies");
+        let addrs: Vec<PhysAddr> = page.lines().map(|l| PhysAddr::new(l.get())).collect();
+        for (i, &addr) in addrs.iter().enumerate() {
+            t = ctrl
+                .write_line(t, addr, &[i as u8; 64])
+                .expect("primed page writes cleanly");
+        }
+        (ctrl, addrs, t)
+    };
+    let looped_reads_per_sec = {
+        let (mut ctrl, addrs, mut t) = build();
+        best_of_windows(|budget| {
+            let mut lines = 0u64;
+            let start = Instant::now();
+            while start.elapsed() < budget {
+                let mut acc = 0u8;
+                for &addr in &addrs {
+                    let (plain, done) =
+                        ctrl.read_line(t, addr).expect("primed page reads back");
+                    acc ^= plain[0];
+                    t = done;
+                }
+                std::hint::black_box(acc);
+                lines += addrs.len() as u64;
+            }
+            lines as f64 / start.elapsed().as_secs_f64()
+        })
+    };
+    let batched_reads_per_sec = {
+        let (mut ctrl, addrs, mut t) = build();
+        let mut out: Vec<[u8; 64]> = Vec::with_capacity(addrs.len());
+        best_of_windows(|budget| {
+            let mut lines = 0u64;
+            let start = Instant::now();
+            while start.elapsed() < budget {
+                out.clear();
+                t = ctrl
+                    .read_lines(t, &addrs, &mut out)
+                    .expect("primed page reads back");
+                std::hint::black_box(out[0][0]);
+                lines += addrs.len() as u64;
+            }
+            lines as f64 / start.elapsed().as_secs_f64()
+        })
+    };
+    BatchThroughput {
+        quad_pads_per_sec,
+        single_pads_per_sec,
+        batched_reads_per_sec,
+        looped_reads_per_sec,
+    }
+}
+
 /// Times one full `fig8_9_10` pass at `scale` with a fixed worker count.
 fn timed_fig8(jobs: usize, scale: f64) -> Duration {
     exp::pool::set_jobs(jobs);
@@ -362,6 +478,20 @@ fn bench(scale: f64, jobs_flag: Option<usize>) {
         meta.rehash_persists_per_sec,
         meta.persist_speedup()
     );
+    eprintln!("[bench] batched-datapath throughput (single thread)...");
+    let batch = batch_throughput();
+    eprintln!(
+        "[bench]   pad kernel: 4-lane {:.0} pad/s, 1-lane {:.0} pad/s, speedup {:.2}x",
+        batch.quad_pads_per_sec,
+        batch.single_pads_per_sec,
+        batch.pad_speedup()
+    );
+    eprintln!(
+        "[bench]   region read: batched {:.0} ln/s, looped {:.0} ln/s, speedup {:.2}x",
+        batch.batched_reads_per_sec,
+        batch.looped_reads_per_sec,
+        batch.read_speedup()
+    );
     eprintln!("[bench] engine serial run (jobs=1, scale {scale})...");
     exp::report::take_cell_records();
     let serial_wall = timed_fig8(1, scale);
@@ -379,6 +509,7 @@ fn bench(scale: f64, jobs_flag: Option<usize>) {
         digest,
         pad,
         meta,
+        batch,
         serial_wall,
         parallel_wall,
         cells,
@@ -406,7 +537,7 @@ fn bench_check(path: &str) {
         .unwrap_or_else(|e| fail(&format!("unreadable: {e}")));
     let json = Json::parse(&text).unwrap_or_else(|e| fail(&format!("invalid JSON: {e}")));
     match json.get("schema").and_then(Json::as_str) {
-        Some("fsencr-bench-harness/2") => {}
+        Some("fsencr-bench-harness/3") => {}
         other => fail(&format!("schema mismatch: {other:?}")),
     }
     for key in ["host_parallelism", "jobs", "scale"] {
@@ -427,6 +558,17 @@ fn bench_check(path: &str) {
                 "memo_persists_per_sec",
                 "rehash_persists_per_sec",
                 "persist_speedup",
+            ],
+        ),
+        (
+            "batch",
+            &[
+                "quad_pads_per_sec",
+                "single_pads_per_sec",
+                "pad_speedup",
+                "batched_reads_per_sec",
+                "looped_reads_per_sec",
+                "read_speedup",
             ],
         ),
         ("engine", &["serial_wall_s", "parallel_wall_s", "speedup"]),

@@ -10,7 +10,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": "fsencr-bench-harness/2",
+//!   "schema": "fsencr-bench-harness/3",
 //!   "host_parallelism": 4,
 //!   "jobs": 4,
 //!   "scale": 0.05,
@@ -36,6 +36,14 @@
 //!     "memo_persists_per_sec": 1.0e6,
 //!     "rehash_persists_per_sec": 0.7e6,
 //!     "persist_speedup": 1.43
+//!   },
+//!   "batch": {
+//!     "quad_pads_per_sec": 8.0e6,
+//!     "single_pads_per_sec": 4.0e6,
+//!     "pad_speedup": 2.0,
+//!     "batched_reads_per_sec": 2.0e5,
+//!     "looped_reads_per_sec": 1.5e5,
+//!     "read_speedup": 1.33
 //!   },
 //!   "engine": {
 //!     "serial_wall_s": 10.0,
@@ -202,6 +210,45 @@ impl MetaThroughput {
     }
 }
 
+/// Batched-datapath microbenchmark: the two host-side wins of the
+/// page-batched fast path. The *pad* pair times `ctr_pads_n` four lanes
+/// at a time against one pad per call over the same cached schedule. The
+/// *read* pair times a full-page `MemoryController::read_lines` region
+/// read against the equivalent per-line `read_line` loop — same
+/// simulated cycles, different host work (counter-block re-parses and
+/// schedule-cache probes amortized across the run).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchThroughput {
+    /// `ctr_pads_n` pads per second, four lanes per call.
+    pub quad_pads_per_sec: f64,
+    /// `ctr_pads_n` pads per second, one lane per call.
+    pub single_pads_per_sec: f64,
+    /// `read_lines` lines per second over a 64-line page.
+    pub batched_reads_per_sec: f64,
+    /// Looped `read_line` lines per second over the same page.
+    pub looped_reads_per_sec: f64,
+}
+
+impl BatchThroughput {
+    /// Four-lane over single-lane pad-generation speedup.
+    pub fn pad_speedup(&self) -> f64 {
+        if self.single_pads_per_sec <= 0.0 {
+            0.0
+        } else {
+            self.quad_pads_per_sec / self.single_pads_per_sec
+        }
+    }
+
+    /// Region-read over per-line-loop speedup.
+    pub fn read_speedup(&self) -> f64 {
+        if self.looped_reads_per_sec <= 0.0 {
+            0.0
+        } else {
+            self.batched_reads_per_sec / self.looped_reads_per_sec
+        }
+    }
+}
+
 /// Everything `harness bench` measures.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -219,6 +266,8 @@ pub struct BenchReport {
     pub pad: PadThroughput,
     /// Metadata-system digest-memo microbenchmark.
     pub meta: MetaThroughput,
+    /// Batched-datapath microbenchmark.
+    pub batch: BatchThroughput,
     /// Wall-clock of the serial (`jobs = 1`) engine run.
     pub serial_wall: Duration,
     /// Wall-clock of the parallel engine run.
@@ -256,7 +305,7 @@ impl BenchReport {
             ));
         }
         format!(
-            "{{\n  \"schema\": \"fsencr-bench-harness/2\",\n  \"host_parallelism\": {},\n  \"jobs\": {},\n  \"scale\": {},\n  \"aes\": {{\n    \"ttable_blocks_per_sec\": {},\n    \"reference_blocks_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"digest\": {{\n    \"line_hashes_per_sec\": {},\n    \"streaming_hashes_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"pad\": {{\n    \"cached_pads_per_sec\": {},\n    \"uncached_pads_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"metadata\": {{\n    \"memo_digests_per_sec\": {},\n    \"rehash_digests_per_sec\": {},\n    \"speedup\": {},\n    \"memo_persists_per_sec\": {},\n    \"rehash_persists_per_sec\": {},\n    \"persist_speedup\": {}\n  }},\n  \"engine\": {{\n    \"serial_wall_s\": {},\n    \"parallel_wall_s\": {},\n    \"speedup\": {},\n    \"cells\": [\n{}\n    ]\n  }}\n}}\n",
+            "{{\n  \"schema\": \"fsencr-bench-harness/3\",\n  \"host_parallelism\": {},\n  \"jobs\": {},\n  \"scale\": {},\n  \"aes\": {{\n    \"ttable_blocks_per_sec\": {},\n    \"reference_blocks_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"digest\": {{\n    \"line_hashes_per_sec\": {},\n    \"streaming_hashes_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"pad\": {{\n    \"cached_pads_per_sec\": {},\n    \"uncached_pads_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"metadata\": {{\n    \"memo_digests_per_sec\": {},\n    \"rehash_digests_per_sec\": {},\n    \"speedup\": {},\n    \"memo_persists_per_sec\": {},\n    \"rehash_persists_per_sec\": {},\n    \"persist_speedup\": {}\n  }},\n  \"batch\": {{\n    \"quad_pads_per_sec\": {},\n    \"single_pads_per_sec\": {},\n    \"pad_speedup\": {},\n    \"batched_reads_per_sec\": {},\n    \"looped_reads_per_sec\": {},\n    \"read_speedup\": {}\n  }},\n  \"engine\": {{\n    \"serial_wall_s\": {},\n    \"parallel_wall_s\": {},\n    \"speedup\": {},\n    \"cells\": [\n{}\n    ]\n  }}\n}}\n",
             self.host_parallelism,
             self.jobs,
             json_f64(self.scale),
@@ -275,6 +324,12 @@ impl BenchReport {
             json_f64(self.meta.memo_persists_per_sec),
             json_f64(self.meta.rehash_persists_per_sec),
             json_f64(self.meta.persist_speedup()),
+            json_f64(self.batch.quad_pads_per_sec),
+            json_f64(self.batch.single_pads_per_sec),
+            json_f64(self.batch.pad_speedup()),
+            json_f64(self.batch.batched_reads_per_sec),
+            json_f64(self.batch.looped_reads_per_sec),
+            json_f64(self.batch.read_speedup()),
             json_f64(self.serial_wall.as_secs_f64()),
             json_f64(self.parallel_wall.as_secs_f64()),
             json_f64(self.engine_speedup()),
@@ -339,6 +394,12 @@ mod tests {
                 memo_persists_per_sec: 1.0e6,
                 rehash_persists_per_sec: 0.8e6,
             },
+            batch: BatchThroughput {
+                quad_pads_per_sec: 8.0e6,
+                single_pads_per_sec: 4.0e6,
+                batched_reads_per_sec: 3.0e5,
+                looped_reads_per_sec: 1.5e5,
+            },
             serial_wall: Duration::from_millis(900),
             parallel_wall: Duration::from_millis(300),
             cells: vec![CellRecord {
@@ -359,6 +420,8 @@ mod tests {
         assert!((r.pad.speedup() - 3.0).abs() < 1e-9);
         assert!((r.meta.speedup() - 10.0).abs() < 1e-9);
         assert!((r.meta.persist_speedup() - 1.25).abs() < 1e-9);
+        assert!((r.batch.pad_speedup() - 2.0).abs() < 1e-9);
+        assert!((r.batch.read_speedup() - 2.0).abs() < 1e-9);
         assert!((r.engine_speedup() - 3.0).abs() < 1e-9);
         assert_eq!(r.cells[0].sim_lines_per_sec(), 2000.0);
     }
@@ -366,11 +429,13 @@ mod tests {
     #[test]
     fn json_is_well_formed_enough() {
         let json = sample_report().to_json();
-        assert!(json.contains("\"schema\": \"fsencr-bench-harness/2\""));
+        assert!(json.contains("\"schema\": \"fsencr-bench-harness/3\""));
         assert!(json.contains("\"line_hashes_per_sec\""));
         assert!(json.contains("\"cached_pads_per_sec\""));
         assert!(json.contains("\"memo_digests_per_sec\""));
         assert!(json.contains("\"memo_persists_per_sec\""));
+        assert!(json.contains("\"quad_pads_per_sec\""));
+        assert!(json.contains("\"batched_reads_per_sec\""));
         assert!(json.contains("\\\"zipf\\\""), "quotes must be escaped: {json}");
         assert!(json.contains("\"speedup\": 4.000000"));
         // Balanced braces/brackets (cheap sanity check without a parser).

@@ -249,6 +249,134 @@ impl Aes128 {
         out
     }
 
+    /// Encrypts four 16-byte blocks with their rounds interleaved.
+    ///
+    /// Bit-identical to four [`Aes128::encrypt_block`] calls, but the
+    /// four states advance through each round together: the table lookups
+    /// of lane *k+1* issue while lane *k*'s are still in flight, so the
+    /// serial lookup→XOR dependency chain of one block no longer bounds
+    /// throughput. For the CTR-pad case — four counter blocks differing
+    /// only in their lane bits — prefer [`Aes128::encrypt_ctr_lanes`],
+    /// which additionally shares the barely-diverged first two rounds.
+    pub fn encrypt_blocks4(&self, blocks: [[u8; 16]; 4]) -> [[u8; 16]; 4] {
+        let t = tables();
+        let rk = &self.enc_words;
+        // Lane-major state: s[lane][column].
+        let mut s = [[0u32; 4]; 4];
+        for (lane, block) in s.iter_mut().zip(blocks.iter()) {
+            for (c, sc) in lane.iter_mut().enumerate() {
+                let b = [block[4 * c], block[4 * c + 1], block[4 * c + 2], block[4 * c + 3]];
+                *sc = u32::from_be_bytes(b) ^ rk[c];
+            }
+        }
+        for round in 1..ROUNDS {
+            let base = 4 * round;
+            let mut n = [[0u32; 4]; 4];
+            // The lane loop is innermost so the four independent chains
+            // interleave within each column computation.
+            for c in 0..4 {
+                for (lane, nl) in n.iter_mut().enumerate() {
+                    nl[c] = t.te[0][(s[lane][c] >> 24) as usize]
+                        ^ t.te[1][((s[lane][(c + 1) & 3] >> 16) & 0xff) as usize]
+                        ^ t.te[2][((s[lane][(c + 2) & 3] >> 8) & 0xff) as usize]
+                        ^ t.te[3][(s[lane][(c + 3) & 3] & 0xff) as usize]
+                        ^ rk[base + c];
+                }
+            }
+            s = n;
+        }
+        let mut out = [[0u8; 16]; 4];
+        for (lane, ol) in out.iter_mut().enumerate() {
+            for (c, chunk) in ol.chunks_exact_mut(4).enumerate() {
+                let w = (u32::from(t.sbox[(s[lane][c] >> 24) as usize]) << 24)
+                    | (u32::from(t.sbox[((s[lane][(c + 1) & 3] >> 16) & 0xff) as usize]) << 16)
+                    | (u32::from(t.sbox[((s[lane][(c + 2) & 3] >> 8) & 0xff) as usize]) << 8)
+                    | u32::from(t.sbox[(s[lane][(c + 3) & 3] & 0xff) as usize]);
+                chunk.copy_from_slice(&(w ^ rk[4 * ROUNDS + c]).to_be_bytes());
+            }
+        }
+        out
+    }
+
+    /// Encrypts the four CTR counter blocks of one cache-line pad.
+    ///
+    /// `iv` is the lane-0 counter block; lane *k*'s block is `iv` with
+    /// `k` written into the top two bits of byte 6 (the lane field of
+    /// [`crate::PadInput::iv_for_lane`]). Because the four blocks differ
+    /// *only* in those two bits, the first two AES rounds barely diverge
+    /// and most of their T-table work can be computed once:
+    ///
+    /// * after the initial `AddRoundKey` only state column 1 varies, and
+    ///   only in its byte 2, so round 1 produces three lane-invariant
+    ///   output columns plus one that differs in a single `te2` lookup
+    ///   (19 lookups instead of 64);
+    /// * entering round 2 only state column 3 varies, and each output
+    ///   column consumes exactly one of its bytes, so the other three
+    ///   contributions fold into shared partials (28 lookups instead
+    ///   of 64).
+    ///
+    /// From round 3 the states are fully diverged; lanes then advance in
+    /// interleaved pairs so two independent lookup→XOR chains are always
+    /// in flight without spilling four full states out of registers.
+    /// Bit-identical to four [`Aes128::encrypt_block`] calls on the four
+    /// lane IVs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane bits of `iv[6]` are not zero.
+    pub fn encrypt_ctr_lanes(&self, iv: [u8; 16]) -> [[u8; 16]; 4] {
+        assert_eq!(iv[6] & 0xc0, 0, "lane bits of byte 6 must be clear");
+        let t = tables();
+        let rk = &self.enc_words;
+        let c0 = u32::from_be_bytes([iv[0], iv[1], iv[2], iv[3]]) ^ rk[0];
+        let c1 = u32::from_be_bytes([iv[4], iv[5], iv[6], iv[7]]) ^ rk[1];
+        let c2 = u32::from_be_bytes([iv[8], iv[9], iv[10], iv[11]]) ^ rk[2];
+        let c3 = u32::from_be_bytes([iv[12], iv[13], iv[14], iv[15]]) ^ rk[3];
+
+        // Round 1: three lane-invariant columns, one shared partial. The
+        // lane bits sit in bits 15:14 of column 1 (byte 6 is its byte 2),
+        // consumed only by output column 3's te2 contribution.
+        let a0 = t.te[0][b0(c0)] ^ t.te[1][b1(c1)] ^ t.te[2][b2(c2)] ^ t.te[3][b3(c3)] ^ rk[4];
+        let a1 = t.te[0][b0(c1)] ^ t.te[1][b1(c2)] ^ t.te[2][b2(c3)] ^ t.te[3][b3(c0)] ^ rk[5];
+        let a2 = t.te[0][b0(c2)] ^ t.te[1][b1(c3)] ^ t.te[2][b2(c0)] ^ t.te[3][b3(c1)] ^ rk[6];
+        let a3p = t.te[0][b0(c3)] ^ t.te[1][b1(c0)] ^ t.te[3][b3(c2)] ^ rk[7];
+
+        // Round 2 shared partials: only column 3 (`a3`) varies by lane,
+        // and each output column reads exactly one of its bytes.
+        let r0p = t.te[0][b0(a0)] ^ t.te[1][b1(a1)] ^ t.te[2][b2(a2)] ^ rk[8];
+        let r1p = t.te[0][b0(a1)] ^ t.te[1][b1(a2)] ^ t.te[3][b3(a0)] ^ rk[9];
+        let r2p = t.te[0][b0(a2)] ^ t.te[2][b2(a0)] ^ t.te[3][b3(a1)] ^ rk[10];
+        let r3p = t.te[1][b1(a0)] ^ t.te[2][b2(a1)] ^ t.te[3][b3(a2)] ^ rk[11];
+
+        let mut out = [[0u8; 16]; 4];
+        for pair in 0..2usize {
+            let lanes = [2 * pair as u32, 2 * pair as u32 + 1];
+            let a3 = lanes.map(|l| a3p ^ t.te[2][b2(c1 ^ (l << 14))]);
+            let mut x = [
+                r0p ^ t.te[3][b3(a3[0])],
+                r1p ^ t.te[2][b2(a3[0])],
+                r2p ^ t.te[1][b1(a3[0])],
+                r3p ^ t.te[0][b0(a3[0])],
+            ];
+            let mut y = [
+                r0p ^ t.te[3][b3(a3[1])],
+                r1p ^ t.te[2][b2(a3[1])],
+                r2p ^ t.te[1][b1(a3[1])],
+                r3p ^ t.te[0][b0(a3[1])],
+            ];
+            for round in 3..ROUNDS {
+                let base = 4 * round;
+                let nx = te_round(t, rk, base, x);
+                let ny = te_round(t, rk, base, y);
+                x = nx;
+                y = ny;
+            }
+            out[2 * pair] = te_final(t, rk, x);
+            out[2 * pair + 1] = te_final(t, rk, y);
+        }
+        out
+    }
+
     /// Decrypts one 16-byte block (T-table equivalent inverse cipher).
     pub fn decrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
         let t = tables();
@@ -319,6 +447,55 @@ impl Aes128 {
 }
 
 /// Packs a byte round-key schedule into big-endian 32-bit column words.
+/// Byte extractors for the T-table formulation: `bN` pulls byte `N` of a
+/// big-endian-packed state column (0 = most significant).
+#[inline(always)]
+fn b0(w: u32) -> usize {
+    (w >> 24) as usize
+}
+
+#[inline(always)]
+fn b1(w: u32) -> usize {
+    ((w >> 16) & 0xff) as usize
+}
+
+#[inline(always)]
+fn b2(w: u32) -> usize {
+    ((w >> 8) & 0xff) as usize
+}
+
+#[inline(always)]
+fn b3(w: u32) -> usize {
+    (w & 0xff) as usize
+}
+
+/// One full T-table round (SubBytes + ShiftRows + MixColumns +
+/// AddRoundKey) on a single block's four columns.
+#[inline(always)]
+fn te_round(t: &Tables, rk: &[u32; RK_WORDS], base: usize, s: [u32; 4]) -> [u32; 4] {
+    [
+        t.te[0][b0(s[0])] ^ t.te[1][b1(s[1])] ^ t.te[2][b2(s[2])] ^ t.te[3][b3(s[3])] ^ rk[base],
+        t.te[0][b0(s[1])] ^ t.te[1][b1(s[2])] ^ t.te[2][b2(s[3])] ^ t.te[3][b3(s[0])] ^ rk[base + 1],
+        t.te[0][b0(s[2])] ^ t.te[1][b1(s[3])] ^ t.te[2][b2(s[0])] ^ t.te[3][b3(s[1])] ^ rk[base + 2],
+        t.te[0][b0(s[3])] ^ t.te[1][b1(s[0])] ^ t.te[2][b2(s[1])] ^ t.te[3][b3(s[2])] ^ rk[base + 3],
+    ]
+}
+
+/// The final round (SubBytes + ShiftRows + AddRoundKey, no MixColumns),
+/// serialized to output bytes.
+#[inline(always)]
+fn te_final(t: &Tables, rk: &[u32; RK_WORDS], s: [u32; 4]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    for (c, chunk) in out.chunks_exact_mut(4).enumerate() {
+        let w = (u32::from(t.sbox[b0(s[c])]) << 24)
+            | (u32::from(t.sbox[b1(s[(c + 1) & 3])]) << 16)
+            | (u32::from(t.sbox[b2(s[(c + 2) & 3])]) << 8)
+            | u32::from(t.sbox[b3(s[(c + 3) & 3])]);
+        chunk.copy_from_slice(&(w ^ rk[4 * ROUNDS + c]).to_be_bytes());
+    }
+    out
+}
+
 fn pack_words(keys: &[[u8; 16]; ROUNDS + 1]) -> [u32; RK_WORDS] {
     let mut out = [0u32; RK_WORDS];
     for (i, w) in out.iter_mut().enumerate() {
@@ -513,6 +690,67 @@ mod tests {
                 assert_eq!(t.td[j][x], iexpect, "td[{j}][{x:#x}]");
             }
         }
+    }
+
+    #[test]
+    fn four_lane_encrypt_matches_single_block() {
+        for seed in 0..4u64 {
+            let aes = Aes128::new(&Key128::from_seed(seed.wrapping_mul(0x517c_c1b7_2722_0a95)));
+            let mut blocks = [[0u8; 16]; 4];
+            for round in 0..16u32 {
+                for (lane, block) in blocks.iter_mut().enumerate() {
+                    for (j, b) in block.iter_mut().enumerate() {
+                        *b = (round as u8)
+                            .wrapping_mul(53)
+                            .wrapping_add((lane as u8).wrapping_mul(101))
+                            .wrapping_add((j as u8).wrapping_mul(19));
+                    }
+                }
+                let interleaved = aes.encrypt_blocks4(blocks);
+                for (lane, block) in blocks.iter().enumerate() {
+                    assert_eq!(
+                        interleaved[lane],
+                        aes.encrypt_block(*block),
+                        "seed {seed} round {round} lane {lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ctr_lane_kernel_matches_single_block() {
+        for seed in 0..4u64 {
+            let aes = Aes128::new(&Key128::from_seed(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+            for step in 0..32u32 {
+                // Exercise every IV byte, keeping byte 6 a legal lane-0
+                // value (lane bits clear).
+                let mut iv = [0u8; 16];
+                for (j, b) in iv.iter_mut().enumerate() {
+                    *b = (step as u8).wrapping_mul(71).wrapping_add((j as u8).wrapping_mul(29));
+                }
+                iv[6] &= 0x3f;
+                let lanes = aes.encrypt_ctr_lanes(iv);
+                for (lane, got) in lanes.iter().enumerate() {
+                    let mut block = iv;
+                    block[6] |= (lane as u8) << 6;
+                    assert_eq!(
+                        *got,
+                        aes.encrypt_block(block),
+                        "seed {seed} step {step} lane {lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lane bits of byte 6 must be clear")]
+    fn ctr_lane_kernel_rejects_set_lane_bits() {
+        let aes = Aes128::new(&Key128::from_seed(1));
+        let mut iv = [0u8; 16];
+        iv[6] = 0x40;
+        aes.encrypt_ctr_lanes(iv);
     }
 
     #[test]

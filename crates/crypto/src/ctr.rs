@@ -105,17 +105,45 @@ pub fn line_pad_with(aes: &Aes128, input: &PadInput) -> [u8; 64] {
 }
 
 /// Like [`line_pad_with`] but writes into a caller-owned buffer, so
-/// per-line callers can reuse one pad allocation. The IV is serialized
-/// once and only the lane bits of byte 6 change between the four blocks.
+/// per-line callers can reuse one pad allocation. Routes through the
+/// 4-lane kernel ([`ctr_pads_n`]): the four counter blocks of one line
+/// are independent, so their AES rounds interleave for ILP.
 ///
 /// # Panics
 ///
 /// Panics if `input.block_in_page >= 64`.
 pub fn line_pad_into(aes: &Aes128, input: &PadInput, pad: &mut [u8; 64]) {
-    let mut iv = input.iv_for_lane(0);
-    for (lane, chunk) in pad.chunks_exact_mut(16).enumerate() {
-        iv[6] = input.block_in_page | ((lane as u8) << 6);
-        chunk.copy_from_slice(&aes.encrypt_block(iv));
+    ctr_pads_n(aes, input, 4, pad);
+}
+
+/// The multi-lane CTR pad kernel: generates the 64-byte pad for one line
+/// with `lanes` counter blocks in flight at once.
+///
+/// `lanes == 1` encrypts the four counter blocks one at a time (the
+/// block-at-a-time path this kernel replaces, kept as the benchmark
+/// comparator); `lanes == 4` advances all four through the AES rounds
+/// together via [`Aes128::encrypt_blocks4`]. Both produce bit-identical
+/// pads — the lane count only changes host instruction-level
+/// parallelism, never the ciphertext.
+///
+/// # Panics
+///
+/// Panics if `lanes` is neither 1 nor 4, or if `input.block_in_page >= 64`.
+pub fn ctr_pads_n(aes: &Aes128, input: &PadInput, lanes: usize, pad: &mut [u8; 64]) {
+    assert!(lanes == 1 || lanes == 4, "lane count must be 1 or 4");
+    if lanes == 4 {
+        // The four lane IVs differ only in the lane bits of byte 6, so
+        // the specialized kernel shares most of rounds 1-2 across lanes.
+        let blocks = aes.encrypt_ctr_lanes(input.iv_for_lane(0));
+        for (chunk, block) in pad.chunks_exact_mut(16).zip(blocks.iter()) {
+            chunk.copy_from_slice(block);
+        }
+    } else {
+        let mut iv = input.iv_for_lane(0);
+        for (lane, chunk) in pad.chunks_exact_mut(16).enumerate() {
+            iv[6] = input.block_in_page | ((lane as u8) << 6);
+            chunk.copy_from_slice(&aes.encrypt_block(iv));
+        }
     }
 }
 
@@ -244,5 +272,36 @@ mod tests {
     fn xor_length_mismatch_panics() {
         let mut d = [0u8; 4];
         xor_in_place(&mut d, &[0u8; 5]);
+    }
+
+    #[test]
+    fn multi_lane_pads_match_block_at_a_time() {
+        let aes = Aes128::new(&Key128::from_seed(0xbeef));
+        let mut one = [0u8; 64];
+        let mut four = [0u8; 64];
+        for page_id in [0u64, 1, 0xABCD_EF01_2345] {
+            for block_in_page in [0u8, 17, 63] {
+                for domain in [PadDomain::Memory, PadDomain::File] {
+                    let input = PadInput {
+                        page_id,
+                        block_in_page,
+                        major: 7 + u64::from(block_in_page),
+                        minor: block_in_page & 0x7f,
+                        domain,
+                    };
+                    ctr_pads_n(&aes, &input, 1, &mut one);
+                    ctr_pads_n(&aes, &input, 4, &mut four);
+                    assert_eq!(one, four, "{input:?}");
+                    assert_eq!(four, line_pad_with(&aes, &input));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count must be 1 or 4")]
+    fn unsupported_lane_count_panics() {
+        let aes = Aes128::new(&Key128::from_seed(1));
+        ctr_pads_n(&aes, &sample(), 2, &mut [0u8; 64]);
     }
 }

@@ -42,7 +42,7 @@ pub mod schedule;
 pub mod sha256;
 
 pub use aes::Aes128;
-pub use ctr::{line_pad, line_pad_into, line_pad_with, xor_in_place, PadDomain, PadInput};
+pub use ctr::{ctr_pads_n, line_pad, line_pad_into, line_pad_with, xor_in_place, PadDomain, PadInput};
 pub use hmac::hmac_sha256;
 pub use kdf::{pbkdf2_hmac_sha256, KeyWrap};
 pub use key::Key128;

@@ -41,6 +41,14 @@ use crate::ott::OpenTunnelTable;
 use crate::snapshot::StatsSnapshot;
 use crate::spill::{OttSpill, SpillError};
 
+// A child module of `controller` (not a sibling) so the batched region
+// ops can drive the private datapath fields directly; the file lives at
+// `src/batch.rs` where the hot-alloc lint scopes it.
+#[path = "batch.rs"]
+pub mod batch;
+
+use batch::{RegionRun, Repad};
+
 /// Errors surfaced by the memory datapath.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemError {
@@ -305,6 +313,11 @@ impl MemoryController {
         &self.obs
     }
 
+    /// The on-chip Merkle root register authenticating all metadata.
+    pub fn merkle_root(&self) -> [u8; 8] {
+        self.meta.root()
+    }
+
     /// Whether the frame is currently a DF (encrypted DAX file) page.
     pub fn is_file_page(&self, page: PageId) -> bool {
         self.file_pages.contains(&page.get())
@@ -366,6 +379,28 @@ impl MemoryController {
         ctr::xor_in_place(data, &self.pad_scratch);
     }
 
+    /// [`Self::xor_file_pad`] with the expanded schedule supplied by the
+    /// caller (a [`RegionRun`] holds it across a batch, skipping the
+    /// per-line schedule-cache probe).
+    fn xor_file_pad_with(
+        &mut self,
+        data: &mut [u8; LINE_BYTES],
+        aes: &Aes128,
+        page: PageId,
+        block: u8,
+        fecb: &Fecb,
+    ) {
+        let input = PadInput {
+            page_id: page.get(),
+            block_in_page: block,
+            major: fecb.major() as u64,
+            minor: fecb.minor(block as usize),
+            domain: PadDomain::File,
+        };
+        ctr::line_pad_into(aes, &input, &mut self.pad_scratch);
+        ctr::xor_in_place(data, &self.pad_scratch);
+    }
+
     /// Resolves the file key for `(gid, fid)`: OTT first, spill on miss
     /// (with OTT refill, possibly spilling the OTT's own victim).
     fn resolve_key(
@@ -412,6 +447,20 @@ impl MemoryController {
         now: Cycle,
         addr: PhysAddr,
     ) -> Result<([u8; LINE_BYTES], Cycle), MemError> {
+        let mut run = RegionRun::new();
+        self.read_line_with(now, addr, &mut run)
+    }
+
+    /// [`Self::read_line`] threading a caller-held [`RegionRun`] memo, the
+    /// building block of [`Self::read_lines`]. Identical simulated
+    /// behaviour; the memo only short-circuits byte-identical counter
+    /// parses and redundant schedule probes.
+    pub(crate) fn read_line_with(
+        &mut self,
+        now: Cycle,
+        addr: PhysAddr,
+        run: &mut RegionRun,
+    ) -> Result<([u8; LINE_BYTES], Cycle), MemError> {
         let line = addr.line();
         self.stats.reads.incr();
         let row_base = self.row_base();
@@ -434,7 +483,7 @@ impl MemoryController {
         // OTP_mem in parallel with the data fetch.
         let mecb_addr = self.meta.layout().mecb_addr(page);
         let (mecb_bytes, macc) = self.meta.read_block(&mut self.nvm, now, mecb_addr)?;
-        let mecb = Mecb::from_bytes(&mecb_bytes);
+        let mecb = run.mecb(&mecb_bytes);
         // Counter mode generates the pad in parallel with the data fetch;
         // the direct-encryption ablation decrypts only after both the data
         // and the counter are available.
@@ -459,7 +508,7 @@ impl MemoryController {
             self.stats.file_accesses.incr();
             let fecb_addr = self.meta.layout().fecb_addr(page);
             let (fecb_bytes, facc) = self.meta.read_block(&mut self.nvm, now, fecb_addr)?;
-            let fecb = Fecb::from_bytes(&fecb_bytes);
+            let fecb = run.fecb(&fecb_bytes);
             let (key, t_key) = self.resolve_key(facc.done, fecb.gid(), fecb.fid())?;
             self.obs.incr(if facc.cache_hit {
                 "ctrl/read/fecb_hits"
@@ -469,7 +518,8 @@ impl MemoryController {
             self.obs.add("ctrl/read/fecb_wait_cycles", facc.done.since(now).get());
             self.obs.add("ctrl/read/key_wait_cycles", t_key.since(facc.done).get());
             self.obs.add("ctrl/read/pad_gen_cycles", self.aes_cycles);
-            self.xor_file_pad(&mut plain, key, page, block, &fecb);
+            let aes = run.schedule(key, &mut self.schedules);
+            self.xor_file_pad_with(&mut plain, aes, page, block, &fecb);
             done = if self.direct_encryption {
                 done.max(t_key) + self.aes_cycles
             } else {
@@ -518,6 +568,21 @@ impl MemoryController {
         addr: PhysAddr,
         plaintext: &[u8; LINE_BYTES],
     ) -> Result<Cycle, MemError> {
+        let mut run = RegionRun::new();
+        self.write_line_with(now, addr, plaintext, &mut run)
+    }
+
+    /// [`Self::write_line`] threading a caller-held [`RegionRun`] memo,
+    /// the building block of [`Self::write_lines`]. Identical simulated
+    /// behaviour; the memo only short-circuits byte-identical counter
+    /// parses and redundant schedule probes.
+    pub(crate) fn write_line_with(
+        &mut self,
+        now: Cycle,
+        addr: PhysAddr,
+        plaintext: &[u8; LINE_BYTES],
+        run: &mut RegionRun,
+    ) -> Result<Cycle, MemError> {
         let line = addr.line();
         self.stats.writes.incr();
         let row_base = self.row_base();
@@ -543,7 +608,7 @@ impl MemoryController {
         } else {
             "ctrl/write/mecb_misses"
         });
-        let mut mecb = Mecb::from_bytes(&mecb_bytes);
+        let mut mecb = run.mecb(&mecb_bytes);
         let mut t = macc.done;
         let mut mecb_overflowed = false;
         if mecb.increment(block as usize) {
@@ -562,6 +627,7 @@ impl MemoryController {
         let macc = self
             .meta
             .write_block(&mut self.nvm, t, mecb_addr, mecb.to_bytes())?;
+        run.note_mecb(mecb);
         if mecb_overflowed {
             // A major-counter bump moves the whole page's pads further
             // than the Osiris stop-loss window can recover; it must reach
@@ -584,7 +650,7 @@ impl MemoryController {
             } else {
                 "ctrl/write/fecb_misses"
             });
-            let mut fecb = Fecb::from_bytes(&fecb_bytes);
+            let mut fecb = run.fecb(&fecb_bytes);
             let mut tf = facc.done;
             let (key, t_key) = self.resolve_key(tf, fecb.gid(), fecb.fid())?;
             self.obs.add("ctrl/write/key_wait_cycles", t_key.since(facc.done).get());
@@ -603,10 +669,12 @@ impl MemoryController {
             let facc = self
                 .meta
                 .write_block(&mut self.nvm, tf, fecb_addr, fecb.to_bytes())?;
+            run.note_fecb(fecb);
             if fecb_overflowed {
                 self.meta.persist_block(&mut self.nvm, facc.done, fecb_addr)?;
             }
-            self.xor_file_pad(&mut cipher, key, page, block, &fecb);
+            let aes = run.schedule(key, &mut self.schedules);
+            self.xor_file_pad_with(&mut cipher, aes, page, block, &fecb);
             t_pads = t_pads.max(facc.done + self.aes_cycles);
             self.obs.add("ctrl/write/pad_gen_cycles", self.aes_cycles);
         }
@@ -625,17 +693,9 @@ impl MemoryController {
     /// writes, as the paper describes.
     fn reencrypt_page_mem(&mut self, now: Cycle, page: PageId, old: &Mecb) -> Result<Cycle, MemError> {
         self.stats.overflow_reencryptions.incr();
-        let mut t = now;
         let mut new = *old;
         new.carry_major();
-        for line in page.lines() {
-            let block = line.block_in_page();
-            let (cipher, t_read) = self.nvm.read_line(t, PhysAddr::new(line.get()));
-            let mut data = cipher;
-            self.xor_mem_pad(&mut data, page, block, old);
-            self.xor_mem_pad(&mut data, page, block, &new);
-            t = self.nvm.write_line(t_read, PhysAddr::new(line.get()), &data);
-        }
+        let t = self.repad_page(now, page, &Repad::Mem { old: *old, new })?;
         Ok(t + self.aes_cycles)
     }
 
@@ -648,17 +708,9 @@ impl MemoryController {
         old: &Fecb,
     ) -> Result<Cycle, MemError> {
         self.stats.overflow_reencryptions.incr();
-        let mut t = now;
         let mut new = *old;
         new.carry_major();
-        for line in page.lines() {
-            let block = line.block_in_page();
-            let (cipher, t_read) = self.nvm.read_line(t, PhysAddr::new(line.get()));
-            let mut data = cipher;
-            self.xor_file_pad(&mut data, key, page, block, old);
-            self.xor_file_pad(&mut data, key, page, block, &new);
-            t = self.nvm.write_line(t_read, PhysAddr::new(line.get()), &data);
-        }
+        let t = self.repad_page(now, page, &Repad::File { key, old: *old, new })?;
         Ok(t + self.aes_cycles)
     }
 

@@ -56,6 +56,7 @@ pub mod spill;
 pub mod tlb;
 pub mod trace;
 
+pub use controller::batch::RegionRun;
 pub use controller::{CtrlStats, MemError, MemoryController, ModuleEnvelope};
 pub use machine::{Machine, MachineOpts, MapId, Preset, RunStats, SecurityMode};
 pub use snapshot::StatsSnapshot;

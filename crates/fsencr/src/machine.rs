@@ -31,6 +31,7 @@ use fsencr_sim::{Cycle, MachineConfig};
 
 use fsencr_obs::Observer;
 
+use crate::controller::batch::RegionRun;
 use crate::controller::{CtrlMode, MemError, MemoryController, ModuleEnvelope, RecoveryReport};
 use crate::snapshot::StatsSnapshot;
 use crate::tlb::{Tlb, PAGE_WALK_CYCLES, TLB_ENTRIES};
@@ -396,6 +397,11 @@ pub struct Machine {
     tlbs: Vec<Tlb>,
     tracer: Tracer,
     baseline: StatsSnapshot,
+    /// Route region operations through the page-batched datapath
+    /// (bit-identical in simulated cycles; host wall-clock only).
+    batching: bool,
+    /// Reused write-back collection buffer for batched persists.
+    persist_scratch: Vec<(PhysAddr, [u8; LINE_BYTES])>,
 }
 
 impl Machine {
@@ -470,6 +476,8 @@ impl Machine {
             tlbs: (0..cores).map(|_| Tlb::new(TLB_ENTRIES)).collect(),
             tracer: Tracer::new(),
             baseline: StatsSnapshot::default(),
+            batching: true,
+            persist_scratch: Vec::new(),
         }
     }
 
@@ -545,6 +553,25 @@ impl Machine {
     /// attacker experiments of Section VI / Table I.
     pub fn mem_key(&self) -> Key128 {
         self.mem_key
+    }
+
+    /// Whether region operations take the page-batched datapath.
+    pub fn batching(&self) -> bool {
+        self.batching
+    }
+
+    /// Switches the page-batched datapath on (default) or off. Both
+    /// settings are bit-identical in simulated cycles, statistics and
+    /// media contents — `tests/batch_equivalence.rs` runs a machine in
+    /// each mode against the same operation stream to prove it — so the
+    /// switch only trades host-side wall-clock.
+    pub fn set_batching(&mut self, on: bool) {
+        self.batching = on;
+    }
+
+    /// The controller's on-chip Merkle root register.
+    pub fn merkle_root(&self) -> [u8; 8] {
+        self.ctrl.merkle_root()
     }
 
     // ------------------------------------------------------------------
@@ -823,18 +850,33 @@ impl Machine {
             let mut pages_plain: Vec<(PageId, Vec<[u8; LINE_BYTES]>)> = Vec::new();
             for frame in frames {
                 let mut page_plain = Vec::with_capacity(64);
-                for line in frame.lines() {
-                    let (plain, done) = self.ctrl.read_line(t, PhysAddr::new(line.get()))?;
-                    t = done;
-                    page_plain.push(plain);
+                if self.batching {
+                    let addrs: Vec<PhysAddr> =
+                        frame.lines().map(|l| PhysAddr::new(l.get())).collect();
+                    t = self.ctrl.read_lines(t, &addrs, &mut page_plain)?;
+                } else {
+                    for line in frame.lines() {
+                        let (plain, done) = self.ctrl.read_line(t, PhysAddr::new(line.get()))?;
+                        t = done;
+                        page_plain.push(plain);
+                    }
                 }
                 pages_plain.push((frame, page_plain));
             }
             t += MMIO_CYCLES;
             t = self.ctrl.install_key(t, group.get(), ino.get(), new_fek)?;
             for (frame, page_plain) in pages_plain {
-                for (line, plain) in frame.lines().zip(page_plain) {
-                    t = self.ctrl.write_line(t, PhysAddr::new(line.get()), &plain)?;
+                if self.batching {
+                    let writes: Vec<(PhysAddr, [u8; LINE_BYTES])> = frame
+                        .lines()
+                        .map(|l| PhysAddr::new(l.get()))
+                        .zip(page_plain)
+                        .collect();
+                    t = self.ctrl.write_lines(t, &writes)?;
+                } else {
+                    for (line, plain) in frame.lines().zip(page_plain) {
+                        t = self.ctrl.write_line(t, PhysAddr::new(line.get()), &plain)?;
+                    }
                 }
             }
             self.clocks[0] = self.clocks[0].max(t);
@@ -952,13 +994,32 @@ impl Machine {
             // stores + flush): this establishes valid ciphertext for the
             // zero content that survives an immediate crash.
             let now = self.clocks[core];
-            for line in pf.frame.lines() {
-                self.ctrl
-                    .write_line(now, PhysAddr::new(line.get()), &[0u8; LINE_BYTES])?;
-                let wbs = self.hier.fill(core, line, [0u8; LINE_BYTES]);
-                for wb in wbs {
+            if self.batching {
+                // Same write/fill interleave as below; one memo spans the
+                // whole page so the MECB parse happens once, not 64 times.
+                let mut run = RegionRun::new();
+                for line in pf.frame.lines() {
+                    self.ctrl.write_line_with(
+                        now,
+                        PhysAddr::new(line.get()),
+                        &[0u8; LINE_BYTES],
+                        &mut run,
+                    )?;
+                    let wbs = self.hier.fill(core, line, [0u8; LINE_BYTES]);
+                    for wb in wbs {
+                        self.ctrl
+                            .write_line_with(now, PhysAddr::new(wb.addr.get()), &wb.data, &mut run)?;
+                    }
+                }
+            } else {
+                for line in pf.frame.lines() {
                     self.ctrl
-                        .write_line(now, PhysAddr::new(wb.addr.get()), &wb.data)?;
+                        .write_line(now, PhysAddr::new(line.get()), &[0u8; LINE_BYTES])?;
+                    let wbs = self.hier.fill(core, line, [0u8; LINE_BYTES]);
+                    for wb in wbs {
+                        self.ctrl
+                            .write_line(now, PhysAddr::new(wb.addr.get()), &wb.data)?;
+                    }
                 }
             }
         }
@@ -1001,6 +1062,55 @@ impl Machine {
         Ok(())
     }
 
+    /// [`Self::load_line`] threading a region-run memo: the hierarchy is
+    /// consulted identically; controller traffic (miss fetch, write-backs)
+    /// shares the caller's batch state.
+    fn load_line_run(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        run: &mut RegionRun,
+    ) -> Result<[u8; LINE_BYTES], MemError> {
+        let out = self.hier.load(core, line);
+        self.clocks[core] += out.latency;
+        let now = self.clocks[core];
+        for wb in &out.writebacks {
+            self.ctrl
+                .write_line_with(now, PhysAddr::new(wb.addr.get()), &wb.data, run)?;
+        }
+        match out.data {
+            Some(data) => Ok(data),
+            None => {
+                let (data, done) = self.ctrl.read_line_with(now, PhysAddr::new(line.get()), run)?;
+                self.clocks[core] = done;
+                let wbs = self.hier.fill(core, line, data);
+                for wb in wbs {
+                    self.ctrl
+                        .write_line_with(done, PhysAddr::new(wb.addr.get()), &wb.data, run)?;
+                }
+                Ok(data)
+            }
+        }
+    }
+
+    /// [`Self::store_line`] threading a region-run memo.
+    fn store_line_run(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        data: [u8; LINE_BYTES],
+        run: &mut RegionRun,
+    ) -> Result<(), MemError> {
+        let (_hit, latency, wbs) = self.hier.store(core, line, data);
+        self.clocks[core] += latency;
+        let now = self.clocks[core];
+        for wb in wbs {
+            self.ctrl
+                .write_line_with(now, PhysAddr::new(wb.addr.get()), &wb.data, run)?;
+        }
+        Ok(())
+    }
+
     /// Byte-granular read within one physical page.
     fn read_page_bytes(
         &mut self,
@@ -1017,6 +1127,30 @@ impl Machine {
             let in_line = (addr - line.get()) as usize;
             let take = (LINE_BYTES - in_line).min(buf.len() - pos);
             let data = self.load_line(core, line)?;
+            buf[pos..pos + take].copy_from_slice(&data[in_line..in_line + take]);
+            pos += take;
+        }
+        Ok(())
+    }
+
+    /// [`Self::read_page_bytes`] threading a region-run memo across the
+    /// page's lines.
+    fn read_page_bytes_run(
+        &mut self,
+        core: usize,
+        frame: PageId,
+        offset_in_page: usize,
+        buf: &mut [u8],
+        run: &mut RegionRun,
+    ) -> Result<(), MemError> {
+        let base = frame.get() * PAGE_BYTES as u64 + offset_in_page as u64;
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let addr = base + pos as u64;
+            let line = LineAddr::new(addr);
+            let in_line = (addr - line.get()) as usize;
+            let take = (LINE_BYTES - in_line).min(buf.len() - pos);
+            let data = self.load_line_run(core, line, run)?;
             buf[pos..pos + take].copy_from_slice(&data[in_line..in_line + take]);
             pos += take;
         }
@@ -1051,6 +1185,35 @@ impl Machine {
         Ok(())
     }
 
+    /// [`Self::write_page_bytes`] threading a region-run memo across the
+    /// page's lines.
+    fn write_page_bytes_run(
+        &mut self,
+        core: usize,
+        frame: PageId,
+        offset_in_page: usize,
+        data: &[u8],
+        run: &mut RegionRun,
+    ) -> Result<(), MemError> {
+        let base = frame.get() * PAGE_BYTES as u64 + offset_in_page as u64;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let addr = base + pos as u64;
+            let line = LineAddr::new(addr);
+            let in_line = (addr - line.get()) as usize;
+            let take = (LINE_BYTES - in_line).min(data.len() - pos);
+            let mut merged = if take == LINE_BYTES {
+                [0u8; LINE_BYTES]
+            } else {
+                self.load_line_run(core, line, run)?
+            };
+            merged[in_line..in_line + take].copy_from_slice(&data[pos..pos + take]);
+            self.store_line_run(core, line, merged, run)?;
+            pos += take;
+        }
+        Ok(())
+    }
+
     /// Reads `buf.len()` bytes from a mapped file at `offset`.
     ///
     /// # Errors
@@ -1070,6 +1233,7 @@ impl Machine {
         if self.mode == SecurityMode::Software && m.fek.is_some() {
             return self.soft_read(core, &m, offset, buf);
         }
+        let mut run = RegionRun::new();
         let mut pos = 0usize;
         while pos < buf.len() {
             let off = offset + pos as u64;
@@ -1077,7 +1241,11 @@ impl Machine {
             let in_page = (off % PAGE_BYTES as u64) as usize;
             let take = (PAGE_BYTES - in_page).min(buf.len() - pos);
             let frame = self.resolve_page(core, &m, page_idx)?;
-            self.read_page_bytes(core, frame, in_page, &mut buf[pos..pos + take])?;
+            if self.batching {
+                self.read_page_bytes_run(core, frame, in_page, &mut buf[pos..pos + take], &mut run)?;
+            } else {
+                self.read_page_bytes(core, frame, in_page, &mut buf[pos..pos + take])?;
+            }
             pos += take;
         }
         Ok(())
@@ -1105,6 +1273,7 @@ impl Machine {
         if self.mode == SecurityMode::Software && m.fek.is_some() {
             return self.soft_write(core, &m, offset, data);
         }
+        let mut run = RegionRun::new();
         let mut pos = 0usize;
         while pos < data.len() {
             let off = offset + pos as u64;
@@ -1112,7 +1281,11 @@ impl Machine {
             let in_page = (off % PAGE_BYTES as u64) as usize;
             let take = (PAGE_BYTES - in_page).min(data.len() - pos);
             let frame = self.resolve_page(core, &m, page_idx)?;
-            self.write_page_bytes(core, frame, in_page, &data[pos..pos + take])?;
+            if self.batching {
+                self.write_page_bytes_run(core, frame, in_page, &data[pos..pos + take], &mut run)?;
+            } else {
+                self.write_page_bytes(core, frame, in_page, &data[pos..pos + take])?;
+            }
             pos += take;
         }
         self.fs.grow(m.ino, offset + data.len() as u64);
@@ -1154,6 +1327,36 @@ impl Machine {
                 off = (off - in_page) + LINE_BYTES as u64 * ((in_page / LINE_BYTES as u64) + 1);
             }
             self.clocks[core] += FENCE_CYCLES;
+            return Ok(());
+        }
+        if self.batching {
+            // `clwb` never touches the controller and every write-back is
+            // issued at the same fence-pending clock, so collecting the
+            // evictions first and fanning them out as one region write is
+            // cycle-identical to the interleaved loop below.
+            let mut scratch = std::mem::take(&mut self.persist_scratch);
+            scratch.clear();
+            let mut off = offset;
+            let end = offset + len;
+            while off < end {
+                let page_idx = (off / PAGE_BYTES as u64) as usize;
+                let in_page = off % PAGE_BYTES as u64;
+                let vpn_frame = {
+                    let vpn = m.base / PAGE_BYTES as u64 + page_idx as u64;
+                    self.pt.pte(vpn).map(|p| p.frame)
+                };
+                if let Some(frame) = vpn_frame {
+                    let line = LineAddr::new(frame.get() * PAGE_BYTES as u64 + in_page);
+                    if let Some(wb) = self.hier.clwb(line) {
+                        scratch.push((PhysAddr::new(wb.addr.get()), wb.data));
+                    }
+                }
+                off = (off - in_page) + LINE_BYTES as u64 * ((in_page / LINE_BYTES as u64) + 1);
+            }
+            let res = self.ctrl.write_lines_at(self.clocks[core], &scratch);
+            scratch.clear();
+            self.persist_scratch = scratch;
+            self.clocks[core] = res? + FENCE_CYCLES;
             return Ok(());
         }
         let mut fence_at = self.clocks[core];

@@ -1,0 +1,177 @@
+//! Batched-datapath equivalence: a machine routing region operations
+//! through the page-batched ops (`read_lines`/`write_lines`, run-threaded
+//! cache traffic, fan-out persist) must be *bit-identical* to a machine
+//! using the legacy per-line path — same plaintext, same simulated
+//! cycles, same statistics snapshot, same Merkle root, same tamper and
+//! recovery verdicts. Batching is a host-side optimization only.
+
+use proptest::prelude::*;
+
+use fsencr::machine::{Machine, MachineOpts, MapId, SecurityMode};
+use fsencr_fs::{AccessKind, GroupId, Mode, UserId};
+use fsencr_nvm::PAGE_BYTES;
+
+const ALICE: UserId = UserId::new(1);
+const STAFF: GroupId = GroupId::new(3);
+/// Several pages so offsets span page boundaries.
+const SPAN: u64 = 6 * PAGE_BYTES as u64;
+
+/// A machine with an encrypted (DF) file and a plain (non-DF) file
+/// mapped, with the batched datapath switched as requested.
+fn build(batching: bool) -> (Machine, MapId, MapId) {
+    let mut m = Machine::new(MachineOpts::small_test(), SecurityMode::FsEncr);
+    m.set_batching(batching);
+    let enc = m
+        .create(ALICE, STAFF, "enc", Mode::PRIVATE, Some("pw"))
+        .unwrap();
+    let plain = m.create(ALICE, STAFF, "plain", Mode::PRIVATE, None).unwrap();
+    let enc_map = m.mmap(&enc).unwrap();
+    let plain_map = m.mmap(&plain).unwrap();
+    (m, enc_map, plain_map)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn batched_and_per_line_datapaths_are_bit_identical(
+        ops in prop::collection::vec(
+            (0u8..8, any::<bool>(), 0u64..SPAN, 1usize..2048, any::<u8>()),
+            1..24,
+        )
+    ) {
+        let (mut a, a_enc, a_plain) = build(true);
+        let (mut b, b_enc, b_plain) = build(false);
+        for (kind, enc, off, len, tag) in ops {
+            let (am, bm) = if enc { (a_enc, b_enc) } else { (a_plain, b_plain) };
+            let off = off.min(SPAN - 1);
+            let len = len.min((SPAN - off) as usize);
+            match kind {
+                0..=2 => {
+                    let data = vec![tag; len];
+                    let ra = a.write(0, am, off, &data);
+                    let rb = b.write(0, bm, off, &data);
+                    prop_assert_eq!(ra, rb);
+                }
+                3 | 4 => {
+                    let mut got_a = vec![0u8; len];
+                    let mut got_b = vec![0u8; len];
+                    let ra = a.read(0, am, off, &mut got_a);
+                    let rb = b.read(0, bm, off, &mut got_b);
+                    prop_assert_eq!(ra, rb);
+                    prop_assert_eq!(&got_a, &got_b);
+                }
+                5 => {
+                    let data = vec![tag; len];
+                    a.write(0, am, off, &data).unwrap();
+                    b.write(0, bm, off, &data).unwrap();
+                    a.persist(0, am, off, len as u64).unwrap();
+                    b.persist(0, bm, off, len as u64).unwrap();
+                }
+                6 => {
+                    // Overflow hammer: enough persisted writes to one line
+                    // to overflow its 7-bit minor counter and trigger the
+                    // page re-encryption path (both MECB and, on the
+                    // encrypted file, FECB).
+                    let line_off = off & !63u64;
+                    for i in 0..132u32 {
+                        let data = [tag ^ (i % 251) as u8; 64];
+                        a.write(0, am, line_off, &data).unwrap();
+                        b.write(0, bm, line_off, &data).unwrap();
+                        a.persist(0, am, line_off, 64).unwrap();
+                        b.persist(0, bm, line_off, 64).unwrap();
+                    }
+                }
+                _ => {
+                    a.msync(0, am, 0, SPAN).unwrap();
+                    b.msync(0, bm, 0, SPAN).unwrap();
+                }
+            }
+            prop_assert_eq!(a.elapsed(), b.elapsed());
+        }
+        prop_assert_eq!(a.snapshot(), b.snapshot());
+        prop_assert_eq!(a.merkle_root(), b.merkle_root());
+    }
+
+    #[test]
+    fn crash_and_rebuild_are_bit_identical(
+        seeds in prop::collection::vec((0u64..SPAN, 1usize..1024, any::<u8>()), 1..8)
+    ) {
+        let (mut a, a_enc, _) = build(true);
+        let (mut b, b_enc, _) = build(false);
+        for &(off, len, tag) in &seeds {
+            let off = off.min(SPAN - 1);
+            let len = len.min((SPAN - off) as usize);
+            let data = vec![tag; len];
+            a.write(0, a_enc, off, &data).unwrap();
+            b.write(0, b_enc, off, &data).unwrap();
+            a.persist(0, a_enc, off, len as u64).unwrap();
+            b.persist(0, b_enc, off, len as u64).unwrap();
+        }
+        a.crash();
+        b.crash();
+        prop_assert_eq!(a.recover(), b.recover());
+        prop_assert_eq!(a.merkle_root(), b.merkle_root());
+        // Remap and verify identical post-recovery contents and clocks.
+        let ha = a.open(ALICE, &[STAFF], "enc", AccessKind::Read, Some("pw")).unwrap();
+        let hb = b.open(ALICE, &[STAFF], "enc", AccessKind::Read, Some("pw")).unwrap();
+        let ma = a.mmap(&ha).unwrap();
+        let mb = b.mmap(&hb).unwrap();
+        let mut got_a = vec![0u8; SPAN as usize];
+        let mut got_b = vec![0u8; SPAN as usize];
+        a.read(0, ma, 0, &mut got_a).unwrap();
+        b.read(0, mb, 0, &mut got_b).unwrap();
+        prop_assert_eq!(got_a, got_b);
+        prop_assert_eq!(a.elapsed(), b.elapsed());
+        prop_assert_eq!(a.snapshot(), b.snapshot());
+    }
+}
+
+#[test]
+fn tamper_verdicts_are_identical() {
+    let mut errs = Vec::new();
+    for batching in [true, false] {
+        let (mut m, enc_map, _) = build(batching);
+        m.write(0, enc_map, 0, b"important").unwrap();
+        m.persist(0, enc_map, 0, 9).unwrap();
+        m.shutdown_flush().unwrap();
+        m.crash(); // drop trusted cached metadata
+
+        // Corrupt the page's FECB on media.
+        let frame = m.fs().stat("enc").unwrap().page(0).unwrap();
+        let meta_base = m.opts().general_bytes + m.opts().pmem_bytes;
+        let fecb_addr = fsencr_nvm::PhysAddr::new(meta_base + frame.get() * 128 + 64);
+        let mut evil = m.peek_media_line(fecb_addr);
+        evil[4] ^= 0x01;
+        m.tamper_line(fecb_addr, &evil);
+
+        let h = m
+            .open(ALICE, &[STAFF], "enc", AccessKind::Read, Some("pw"))
+            .unwrap();
+        let map = m.mmap(&h).unwrap();
+        let mut buf = [0u8; 9];
+        errs.push(m.read(0, map, 0, &mut buf).unwrap_err());
+    }
+    assert_eq!(errs[0], errs[1], "batched and per-line tamper verdicts differ");
+}
+
+#[test]
+fn rekey_is_bit_identical() {
+    let (mut a, a_enc, _) = build(true);
+    let (mut b, b_enc, _) = build(false);
+    let data: Vec<u8> = (0..2 * PAGE_BYTES).map(|i| (i % 251) as u8).collect();
+    a.write(0, a_enc, 0, &data).unwrap();
+    b.write(0, b_enc, 0, &data).unwrap();
+    a.persist(0, a_enc, 0, data.len() as u64).unwrap();
+    b.persist(0, b_enc, 0, data.len() as u64).unwrap();
+    a.rekey(ALICE, "enc", "pw", "pw2").unwrap();
+    b.rekey(ALICE, "enc", "pw", "pw2").unwrap();
+    assert_eq!(a.elapsed(), b.elapsed());
+    assert_eq!(a.snapshot(), b.snapshot());
+    let mut got_a = vec![0u8; data.len()];
+    let mut got_b = vec![0u8; data.len()];
+    a.read(0, a_enc, 0, &mut got_a).unwrap();
+    b.read(0, b_enc, 0, &mut got_b).unwrap();
+    assert_eq!(got_a, data);
+    assert_eq!(got_b, data);
+}

@@ -64,7 +64,7 @@ impl NvmDevice {
         let line = self.checked_line(addr);
         self.stats.reads.incr();
         let done = self.timing.access(now, line, AccessKind::Read);
-        (self.storage.read_line(line), done)
+        (self.storage.read_line_hot(line), done)
     }
 
     /// Writes one line, returning the completion time.

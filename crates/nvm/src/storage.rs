@@ -5,6 +5,13 @@
 //! lazily on first touch so a 16 GiB device costs only what the workload
 //! actually uses. Untouched bytes read as zero, matching a freshly
 //! manufactured device.
+//!
+//! Line traffic is heavily page-local (64 consecutive lines share a 4 KiB
+//! frame), so the store keeps the most recently accessed frame *out* of
+//! the page map in a one-entry memo: a run of line accesses to one page
+//! pays a single `HashMap` probe instead of one per 64-byte line. Batched
+//! callers can go further and borrow a whole frame once via
+//! [`Storage::page_ref`]/[`Storage::page_mut`].
 
 use std::collections::HashMap;
 
@@ -26,6 +33,10 @@ use crate::addr::{LineAddr, PageId, PhysAddr, LINE_BYTES, PAGE_BYTES};
 #[derive(Debug, Default, Clone)]
 pub struct Storage {
     pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    /// Most recently accessed resident frame, held out of `pages`. A
+    /// frame lives in exactly one of the two places, so every accessor
+    /// checks the memo before (or instead of) probing the map.
+    last: Option<(u64, Box<[u8; PAGE_BYTES]>)>,
 }
 
 impl Storage {
@@ -36,7 +47,61 @@ impl Storage {
 
     /// Number of pages that have been touched.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.pages.len() + usize::from(self.last.is_some())
+    }
+
+    /// Moves `frame` into the memo slot, allocating it on first touch,
+    /// and returns its bytes. At most one map insert + one removal per
+    /// frame *run*; repeat accesses to the memoized frame are probe-free.
+    fn frame_mut(&mut self, frame: u64) -> &mut [u8; PAGE_BYTES] {
+        let hit = matches!(&self.last, Some((f, _)) if *f == frame);
+        if !hit {
+            if let Some((f, page)) = self.last.take() {
+                self.pages.insert(f, page);
+            }
+            let page = self
+                .pages
+                .remove(&frame)
+                .unwrap_or_else(|| Box::new([0u8; PAGE_BYTES]));
+            self.last = Some((frame, page));
+        }
+        // The memo is guaranteed occupied here; the fallback insert is
+        // unreachable and exists only to avoid a panicking unwrap.
+        let (_, page) = self
+            .last
+            .get_or_insert_with(|| (frame, Box::new([0u8; PAGE_BYTES])));
+        page
+    }
+
+    /// Promotes `frame` into the memo slot if it is resident, without
+    /// allocating. Read paths use this so untouched pages stay untouched.
+    fn promote(&mut self, frame: u64) {
+        if matches!(&self.last, Some((f, _)) if *f == frame) {
+            return;
+        }
+        if let Some(page) = self.pages.remove(&frame) {
+            if let Some((f, old)) = self.last.take() {
+                self.pages.insert(f, old);
+            }
+            self.last = Some((frame, page));
+        }
+    }
+
+    /// Borrows a whole resident page (`None` if untouched). Batched
+    /// readers call this once per 4 KiB frame and slice lines out of the
+    /// borrow instead of paying a map probe per line.
+    pub fn page_ref(&self, page: PageId) -> Option<&[u8; PAGE_BYTES]> {
+        match &self.last {
+            Some((f, p)) if *f == page.get() => Some(p),
+            _ => self.pages.get(&page.get()).map(|b| &**b),
+        }
+    }
+
+    /// Mutably borrows a whole page, allocating it on first touch.
+    /// Batched writers call this once per 4 KiB frame; the page also
+    /// becomes the memoized frame for subsequent line accesses.
+    pub fn page_mut(&mut self, page: PageId) -> &mut [u8; PAGE_BYTES] {
+        self.frame_mut(page.get())
     }
 
     /// Reads `buf.len()` bytes starting at `addr` (DF-bit ignored).
@@ -47,7 +112,7 @@ impl Storage {
             let frame = pos / PAGE_BYTES as u64;
             let offset = (pos % PAGE_BYTES as u64) as usize;
             let take = remaining.len().min(PAGE_BYTES - offset);
-            match self.pages.get(&frame) {
+            match self.page_ref(PageId::new(frame)) {
                 Some(page) => remaining[..take].copy_from_slice(&page[offset..offset + take]),
                 None => remaining[..take].fill(0),
             }
@@ -64,10 +129,7 @@ impl Storage {
             let frame = pos / PAGE_BYTES as u64;
             let offset = (pos % PAGE_BYTES as u64) as usize;
             let take = remaining.len().min(PAGE_BYTES - offset);
-            let page = self
-                .pages
-                .entry(frame)
-                .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+            let page = self.frame_mut(frame);
             page[offset..offset + take].copy_from_slice(&remaining[..take]);
             remaining = &remaining[take..];
             pos += take as u64;
@@ -76,37 +138,69 @@ impl Storage {
 
     /// Reads one 64-byte line.
     pub fn read_line(&self, line: LineAddr) -> [u8; LINE_BYTES] {
+        let pos = line.get();
+        let frame = pos / PAGE_BYTES as u64;
+        let offset = (pos % PAGE_BYTES as u64) as usize;
         let mut buf = [0u8; LINE_BYTES];
-        self.read(PhysAddr::new(line.get()), &mut buf);
+        if let Some(page) = self.page_ref(PageId::new(frame)) {
+            buf.copy_from_slice(&page[offset..offset + LINE_BYTES]);
+        }
+        buf
+    }
+
+    /// Like [`Storage::read_line`] but refreshes the last-page memo, so a
+    /// run of line reads within one page probes the map once. Does not
+    /// allocate: untouched pages still read as zero and stay untouched.
+    pub fn read_line_hot(&mut self, line: LineAddr) -> [u8; LINE_BYTES] {
+        let pos = line.get();
+        let frame = pos / PAGE_BYTES as u64;
+        let offset = (pos % PAGE_BYTES as u64) as usize;
+        self.promote(frame);
+        let mut buf = [0u8; LINE_BYTES];
+        if let Some((f, page)) = &self.last {
+            if *f == frame {
+                buf.copy_from_slice(&page[offset..offset + LINE_BYTES]);
+            }
+        }
         buf
     }
 
     /// Writes one 64-byte line.
     pub fn write_line(&mut self, line: LineAddr, data: &[u8; LINE_BYTES]) {
-        self.write(PhysAddr::new(line.get()), data);
+        let pos = line.get();
+        let frame = pos / PAGE_BYTES as u64;
+        let offset = (pos % PAGE_BYTES as u64) as usize;
+        let page = self.frame_mut(frame);
+        page[offset..offset + LINE_BYTES].copy_from_slice(data);
     }
 
     /// Fills an entire page with `byte` (used by secure shredding).
     pub fn fill_page(&mut self, page: PageId, byte: u8) {
-        self.pages
-            .insert(page.get(), Box::new([byte; PAGE_BYTES]));
+        *self.frame_mut(page.get()) = [byte; PAGE_BYTES];
     }
 
     /// Drops a page's backing store, returning it to the all-zero state.
     pub fn discard_page(&mut self, page: PageId) {
-        self.pages.remove(&page.get());
+        if matches!(&self.last, Some((f, _)) if *f == page.get()) {
+            self.last = None;
+        } else {
+            self.pages.remove(&page.get());
+        }
     }
 
     /// Iterates the frame numbers of every touched page — what a physical
     /// attacker scanning the DIMM would enumerate.
     pub fn frames(&self) -> impl Iterator<Item = u64> + '_ {
-        self.pages.keys().copied()
+        self.pages
+            .keys()
+            .copied()
+            .chain(self.last.iter().map(|(f, _)| *f))
     }
 
     /// Returns a copy of a whole page (zeroes if untouched).
     pub fn snapshot_page(&self, page: PageId) -> [u8; PAGE_BYTES] {
-        match self.pages.get(&page.get()) {
-            Some(p) => **p,
+        match self.page_ref(page) {
+            Some(p) => *p,
             None => [0u8; PAGE_BYTES],
         }
     }
@@ -195,5 +289,58 @@ mod tests {
         let mut buf = [0u8; 4];
         s.read(PhysAddr::new(0), &mut buf);
         assert_eq!(&buf, b"aabb");
+    }
+
+    #[test]
+    fn memo_survives_interleaved_frames() {
+        let mut s = Storage::new();
+        // Alternate writes across two frames: each switch flushes the
+        // memoized page back into the map without losing data.
+        for i in 0..8u8 {
+            s.write_line(LineAddr::new(u64::from(i % 2) * 4096), &[i; LINE_BYTES]);
+        }
+        assert_eq!(s.read_line(LineAddr::new(0)), [6u8; LINE_BYTES]);
+        assert_eq!(s.read_line(LineAddr::new(4096)), [7u8; LINE_BYTES]);
+        assert_eq!(s.resident_pages(), 2);
+        let mut frames: Vec<u64> = s.frames().collect();
+        frames.sort_unstable();
+        assert_eq!(frames, vec![0, 1]);
+    }
+
+    #[test]
+    fn hot_reads_do_not_allocate() {
+        let mut s = Storage::new();
+        assert_eq!(s.read_line_hot(LineAddr::new(64 * 4096)), [0u8; LINE_BYTES]);
+        assert_eq!(s.resident_pages(), 0);
+        s.write_line(LineAddr::new(0), &[1u8; LINE_BYTES]);
+        // A hot read of another resident page promotes it into the memo
+        // and keeps frame enumeration intact.
+        s.write_line(LineAddr::new(4096), &[2u8; LINE_BYTES]);
+        assert_eq!(s.read_line_hot(LineAddr::new(0)), [1u8; LINE_BYTES]);
+        assert_eq!(s.resident_pages(), 2);
+    }
+
+    #[test]
+    fn page_ref_and_mut_borrow_whole_frames() {
+        let mut s = Storage::new();
+        assert!(s.page_ref(PageId::new(5)).is_none());
+        s.page_mut(PageId::new(5))[100] = 0x42;
+        let page = s.page_ref(PageId::new(5)).expect("allocated by page_mut");
+        assert_eq!(page[100], 0x42);
+        assert_eq!(page[101], 0);
+        // The borrowed view and the line view agree.
+        let mut line = [0u8; LINE_BYTES];
+        line.copy_from_slice(&page[64..128]);
+        assert_eq!(s.read_line(LineAddr::new(5 * 4096 + 64)), line);
+    }
+
+    #[test]
+    fn discard_clears_memoized_page() {
+        let mut s = Storage::new();
+        s.write_line(LineAddr::new(2 * 4096), &[9u8; LINE_BYTES]);
+        // Frame 2 sits in the memo slot; discarding must still zero it.
+        s.discard_page(PageId::new(2));
+        assert_eq!(s.resident_pages(), 0);
+        assert_eq!(s.read_line(LineAddr::new(2 * 4096)), [0u8; LINE_BYTES]);
     }
 }

@@ -840,15 +840,59 @@ impl MetadataSystem {
         now: Cycle,
         addr: LineAddr,
     ) -> Result<Cycle, TamperError> {
+        self.persist_blocks(nvm, now, std::slice::from_ref(&addr))
+    }
+
+    /// Page-batch entry point of the persist path: write-through a run of
+    /// covered lines in order, each starting where the previous one
+    /// completed. Simulated behavior is identical to calling
+    /// [`MetadataSystem::persist_block`] per address with chained
+    /// completion times — the batch only amortizes host-side work: one
+    /// eviction-scratch take/restore covers the whole run, and sibling
+    /// lines (e.g. a page's MECB and FECB, adjacent under one tree
+    /// parent) resolve their Merkle climbs against the ancestors and
+    /// digest memos the first line's climb just installed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first verification failure; lines before it have
+    /// already been persisted.
+    pub fn persist_blocks(
+        &mut self,
+        nvm: &mut NvmDevice,
+        now: Cycle,
+        addrs: &[LineAddr],
+    ) -> Result<Cycle, TamperError> {
+        let mut queue = std::mem::take(&mut self.evict_scratch);
+        let mut t = now;
+        for &addr in addrs {
+            match self.persist_one(nvm, t, addr, &mut queue) {
+                Ok(done) => t = done,
+                Err(e) => {
+                    self.evict_scratch = queue;
+                    return Err(e);
+                }
+            }
+        }
+        self.evict_scratch = queue;
+        Ok(t)
+    }
+
+    /// One persist_block step against a caller-held eviction queue.
+    fn persist_one(
+        &mut self,
+        nvm: &mut NvmDevice,
+        now: Cycle,
+        addr: LineAddr,
+        queue: &mut VecDeque<Eviction>,
+    ) -> Result<Cycle, TamperError> {
         let (bytes, acc) = self.read_block(nvm, now, addr)?;
         let mut t = nvm.write_line(acc.done, addr.into_phys(), &bytes);
         self.cache_at(addr).clean(addr);
         self.pending.remove(&addr.get());
-        let mut queue = std::mem::take(&mut self.evict_scratch);
         queue.clear();
-        t = self.bump_parent(nvm, t, addr, &bytes, &mut queue);
-        t = self.drain_queue(nvm, t, &mut queue);
-        self.evict_scratch = queue;
+        t = self.bump_parent(nvm, t, addr, &bytes, queue);
+        t = self.drain_queue(nvm, t, queue);
         Ok(t)
     }
 
@@ -1059,6 +1103,48 @@ mod tests {
         assert_eq!(sys.stats().osiris_persists.get(), 1);
         // The 4th update reached the media.
         assert_eq!(nvm.peek_line(addr.into_phys()), [4u8; 64]);
+    }
+
+    #[test]
+    fn persist_blocks_matches_per_line_persists() {
+        // Same writes, then persist a page's MECB + FECB plus two sibling
+        // pages' counters — batched on one system, per-line on the other.
+        // Completion time, root, media bytes and every counter must agree.
+        let build = || {
+            let (mut sys, mut nvm) = small_setup();
+            let mut t = Cycle::ZERO;
+            for p in 0..4u64 {
+                let mecb = sys.layout().mecb_addr(PageId::new(p));
+                let fecb = sys.layout().fecb_addr(PageId::new(p));
+                t = sys.write_block(&mut nvm, t, mecb, [p as u8 + 1; 64]).unwrap().done;
+                t = sys.write_block(&mut nvm, t, fecb, [p as u8 + 9; 64]).unwrap().done;
+            }
+            (sys, nvm, t)
+        };
+        let (mut batched, mut nvm_b, t0) = build();
+        let (mut serial, mut nvm_s, t0_s) = build();
+        assert_eq!(t0, t0_s);
+        let addrs: Vec<LineAddr> = (0..4u64)
+            .flat_map(|p| {
+                [
+                    batched.layout().mecb_addr(PageId::new(p)),
+                    batched.layout().fecb_addr(PageId::new(p)),
+                ]
+            })
+            .collect();
+        let t_batch = batched.persist_blocks(&mut nvm_b, t0, &addrs).unwrap();
+        let mut t_serial = t0_s;
+        for &addr in &addrs {
+            t_serial = serial.persist_block(&mut nvm_s, t_serial, addr).unwrap();
+        }
+        assert_eq!(t_batch, t_serial);
+        assert_eq!(batched.root(), serial.root());
+        for &addr in &addrs {
+            assert_eq!(nvm_b.peek_line(addr.into_phys()), nvm_s.peek_line(addr.into_phys()));
+        }
+        assert_eq!(batched.stat_rows(), serial.stat_rows());
+        assert_eq!(nvm_b.stats().reads.get(), nvm_s.stats().reads.get());
+        assert_eq!(nvm_b.stats().writes.get(), nvm_s.stats().writes.get());
     }
 
     #[test]

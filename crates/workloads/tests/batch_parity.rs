@@ -1,0 +1,97 @@
+//! Batched-datapath parity: every workload driven through
+//! `run_workload` uses the region ops (batching is the machine
+//! default), and the simulated outcome must be bit-identical to the
+//! legacy line-at-a-time path. A read-heavy stride and a write-heavy
+//! swap cover both directions of the datapath.
+
+use fsencr::machine::{Machine, MachineOpts, RunStats, SecurityMode};
+use fsencr::snapshot::StatsSnapshot;
+use fsencr_workloads::daxmicro::{DaxStride, DaxSwap};
+use fsencr_workloads::{run_workload, Workload};
+
+/// Mirror `run_workload`'s sequence on a machine with batching forced
+/// off — the legacy per-line reference the batched default must match.
+fn run_legacy(
+    base_opts: MachineOpts,
+    mode: SecurityMode,
+    workload: &mut dyn Workload,
+) -> (RunStats, StatsSnapshot) {
+    let opts = workload.configure(base_opts);
+    let mut m = Machine::new(opts, mode);
+    m.set_batching(false);
+    workload.setup(&mut m).expect("legacy setup");
+    m.begin_measurement();
+    workload.run(&mut m).expect("legacy run");
+    m.sync_cores();
+    (m.measurement(), m.measurement_snapshot())
+}
+
+fn assert_stats_match(batched: &RunStats, legacy: &RunStats, what: &str) {
+    assert_eq!(batched.cycles, legacy.cycles, "{what}: cycles");
+    assert_eq!(batched.nvm_reads, legacy.nvm_reads, "{what}: nvm_reads");
+    assert_eq!(batched.nvm_writes, legacy.nvm_writes, "{what}: nvm_writes");
+    assert_eq!(
+        batched.meta_hit_rate, legacy.meta_hit_rate,
+        "{what}: meta_hit_rate"
+    );
+    assert_eq!(batched.ott_hits, legacy.ott_hits, "{what}: ott_hits");
+    assert_eq!(batched.ott_misses, legacy.ott_misses, "{what}: ott_misses");
+    assert_eq!(
+        batched.file_accesses, legacy.file_accesses,
+        "{what}: file_accesses"
+    );
+    assert_eq!(
+        batched.tlb_hit_rate, legacy.tlb_hit_rate,
+        "{what}: tlb_hit_rate"
+    );
+    assert_eq!(batched.read_p50, legacy.read_p50, "{what}: read_p50");
+    assert_eq!(batched.read_p99, legacy.read_p99, "{what}: read_p99");
+}
+
+fn parity_for(mode: SecurityMode) {
+    // Read-heavy: strided 1-byte reads over a freshly written file.
+    let mut batched = DaxStride::new(16, 1 << 20, 2000);
+    let mut legacy = DaxStride::new(16, 1 << 20, 2000);
+    let res = run_workload(MachineOpts::small_test(), mode, &mut batched).expect("batched run");
+    let (leg_stats, _) = run_legacy(MachineOpts::small_test(), mode, &mut legacy);
+    assert!(res.stats.cycles > 0, "stride must cost cycles");
+    assert_stats_match(&res.stats, &leg_stats, "dax-stride");
+
+    // Write-heavy: init-and-swap with a persist after every step.
+    let mut batched = DaxSwap::new(16, 1 << 20, 300);
+    let mut legacy = DaxSwap::new(16, 1 << 20, 300);
+    let res = run_workload(MachineOpts::small_test(), mode, &mut batched).expect("batched run");
+    let (leg_stats, _) = run_legacy(MachineOpts::small_test(), mode, &mut legacy);
+    assert!(res.stats.nvm_writes > 0, "swap must write NVM");
+    assert_stats_match(&res.stats, &leg_stats, "dax-swap");
+}
+
+#[test]
+fn fsencr_workloads_are_cycle_identical_batched_or_not() {
+    parity_for(SecurityMode::FsEncr);
+}
+
+#[test]
+fn memory_only_workloads_are_cycle_identical_batched_or_not() {
+    parity_for(SecurityMode::MemoryOnly);
+}
+
+#[test]
+fn full_snapshots_match_batched_or_not() {
+    // Beyond the RunStats summary: the complete stats snapshot —
+    // every counter the figures are drawn from — must be identical.
+    let mut batched = DaxSwap::new(16, 1 << 20, 200);
+    let mut legacy = DaxSwap::new(16, 1 << 20, 200);
+    let mut m = {
+        let opts = batched.configure(MachineOpts::small_test());
+        Machine::new(opts, SecurityMode::FsEncr)
+    };
+    batched.setup(&mut m).expect("batched setup");
+    m.begin_measurement();
+    batched.run(&mut m).expect("batched run");
+    m.sync_cores();
+    let batched_snap = m.measurement_snapshot();
+
+    let (_, legacy_snap) = run_legacy(MachineOpts::small_test(), SecurityMode::FsEncr, &mut legacy);
+    assert_eq!(batched_snap, legacy_snap);
+}

@@ -11,6 +11,10 @@ cargo build --release
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> batched-datapath equivalence: region ops vs legacy per-line path"
+cargo test -q -p fsencr --test batch_equivalence
+cargo test -q -p fsencr-workloads --test batch_parity
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
@@ -30,7 +34,7 @@ if cargo run --release -q -p analysis -- lint --root crates/analysis/fixtures/vi
 fi
 # The fixture tree seeds violations in every guarded crate class,
 # including the observability crate; each must actually be reported.
-for seeded in "crates/bench/src/lib.rs" "crates/fsencr/src/lib.rs" "crates/obs/src/lib.rs"; do
+for seeded in "crates/bench/src/lib.rs" "crates/fsencr/src/lib.rs" "crates/obs/src/lib.rs" "crates/fsencr/src/batch.rs"; do
     if ! grep -q "$seeded" /tmp/fsencr_lint_fixture.out; then
         echo "FAIL: lint did not flag seeded violations in $seeded" >&2
         exit 1
