@@ -1,0 +1,22 @@
+//! Seeded `plaintext-confinement` violations (never compiled — this
+//! tree exists so `verify.sh` can prove the gate still fails on it).
+//!
+//! [`dump_plain`] hands a caller-supplied buffer straight to the raw
+//! device, bypassing the `MemoryController` encryption boundary, and
+//! [`checkpoint_fast`] hides that edge behind a wrapper one call away.
+//! The item-graph pass must flag the direct edge
+//! (`plaintext-confinement`) *and* taint the wrapper through the call
+//! graph (`confinement-reach`).
+
+/// Writes `plain` to NVM without ever touching the encrypt pipeline.
+pub fn dump_plain(nvm: &mut NvmDevice, addr: LineAddr, plain: &[u8; 64]) {
+    nvm.poke_line(addr, plain);
+}
+
+/// A "fast checkpoint" that skips the controller: one hop from the
+/// leak, invisible to any token-level lint.
+pub fn checkpoint_fast(nvm: &mut NvmDevice, pages: &PageSet) {
+    for (addr, data) in pages.iter() {
+        dump_plain(nvm, addr, data);
+    }
+}

@@ -1,0 +1,24 @@
+//! Seeded `pad-site` violations (never compiled — this tree exists so
+//! `verify.sh` can prove the gate still fails on it).
+//!
+//! Counter-mode pads minted outside `crates/crypto` and the
+//! controller's encrypt routines escape the counter discipline those
+//! modules enforce. This file reuses one cached `PadInput` for two
+//! different lines — the same (key, IV) pair twice, which in CTR mode
+//! hands an attacker `a XOR b` for free. The gate must flag the
+//! `PadInput` construction and both `line_pad` calls.
+
+/// Encrypts two lines under one cached pad input: textbook IV reuse.
+pub fn encrypt_pair(key: &Key128, a: &mut [u8; 64], b: &mut [u8; 64]) {
+    let input = PadInput {
+        page_id: 7,
+        block_in_page: 0,
+        major: 1,
+        minor: 3,
+        domain: PadDomain::File,
+    };
+    let pad = line_pad(key, &input);
+    xor_in_place(a, &pad);
+    let pad_again = line_pad(key, &input);
+    xor_in_place(b, &pad_again);
+}

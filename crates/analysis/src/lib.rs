@@ -1,7 +1,7 @@
 //! The FsEncr workspace's in-tree static analysis gate.
 //!
 //! `cargo run -p analysis -- check` is a tier-1 gate (wired into
-//! `scripts/verify.sh`) with three passes, none of which need anything
+//! `scripts/verify.sh`) with four passes, none of which need anything
 //! outside this offline workspace:
 //!
 //! * [`lint`] — a custom lint pass over every workspace source file,
@@ -10,7 +10,14 @@
 //!   no lossy `as` casts on counter/address-width integers, no
 //!   nondeterminism sources in the figure-producing crates, and
 //!   `#![forbid(unsafe_code)]` in every crate root. Audited exceptions
-//!   live in the checked-in `allowlist.txt`.
+//!   live in the checked-in `allowlist.txt` (see [`allow`]).
+//! * [`confine`] — the security-invariant pass: an item-level parser
+//!   ([`items`]) on top of the lexer builds a cross-crate call graph
+//!   and enforces plaintext-confinement (raw NVM writes only inside
+//!   the `MemoryController` encryption boundary or under an audited
+//!   allowlist entry), pad-site confinement (counter-mode IVs minted
+//!   only in `crates/crypto`/the controller), and debug-escape-hatch
+//!   reachability.
 //! * [`layout_check`] — re-derives the MECB/FECB/OTT-spill/Merkle
 //!   geometry from the live `fsencr_secmem` and `fsencr` crates and
 //!   compares it against the paper's values (64 B metadata lines, FECB =
@@ -26,7 +33,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod allow;
 pub mod audit;
+pub mod confine;
+pub mod items;
 pub mod layout_check;
 pub mod lexer;
 pub mod lint;

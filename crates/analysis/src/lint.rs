@@ -48,90 +48,16 @@ const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 /// Files whose inner loops (verification chains, line digests, pad
 /// generation) must stay allocation-free: scratch lives in the owning
 /// struct and is reused across calls.
-const ALLOC_FREE_FILES: [&str; 5] = [
+const ALLOC_FREE_FILES: [&str; 6] = [
     "crates/secmem/src/metadata.rs",
     "crates/crypto/src/sha256.rs",
     "crates/crypto/src/ctr.rs",
     "crates/crypto/src/schedule.rs",
+    "crates/crypto/src/oracle.rs",
     "crates/fsencr/src/batch.rs",
 ];
 
-/// One audited exception from `allowlist.txt`.
-#[derive(Debug, Clone)]
-struct AllowEntry {
-    rule: String,
-    path: String,
-    needle: String,
-    line_no: u32,
-}
-
-/// The parsed allowlist, tracking which entries actually fired.
-#[derive(Debug, Default)]
-pub struct Allowlist {
-    entries: Vec<AllowEntry>,
-    used: Vec<bool>,
-}
-
-impl Allowlist {
-    /// Parses the `rule path needle [-- justification]` line format.
-    /// Blank lines and `#` comments are ignored.
-    pub fn parse(text: &str) -> Allowlist {
-        let mut entries = Vec::new();
-        for (idx, raw) in text.lines().enumerate() {
-            let line = raw.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            let mut parts = line.splitn(3, char::is_whitespace);
-            let (Some(rule), Some(path), Some(rest)) =
-                (parts.next(), parts.next(), parts.next())
-            else {
-                continue;
-            };
-            let needle = rest.split(" -- ").next().unwrap_or(rest).trim();
-            entries.push(AllowEntry {
-                rule: rule.to_string(),
-                path: path.to_string(),
-                needle: needle.to_string(),
-                line_no: (idx + 1) as u32,
-            });
-        }
-        let used = vec![false; entries.len()];
-        Allowlist { entries, used }
-    }
-
-    /// Whether `finding` is covered by an entry; marks the entry used.
-    fn suppresses(&mut self, finding: &Finding) -> bool {
-        for (entry, used) in self.entries.iter().zip(self.used.iter_mut()) {
-            if entry.rule == finding.rule
-                && entry.path == finding.path
-                && finding.message.contains(&entry.needle)
-            {
-                *used = true;
-                return true;
-            }
-        }
-        false
-    }
-
-    /// Findings for entries that never matched anything.
-    fn unused_findings(&self, allowlist_path: &str) -> Vec<Finding> {
-        self.entries
-            .iter()
-            .zip(self.used.iter())
-            .filter(|(_, used)| !**used)
-            .map(|(entry, _)| Finding {
-                path: allowlist_path.to_string(),
-                line: entry.line_no,
-                rule: "allowlist-unused",
-                message: format!(
-                    "allowlist entry `{} {} {}` matched no finding; delete it",
-                    entry.rule, entry.path, entry.needle
-                ),
-            })
-            .collect()
-    }
-}
+pub use crate::allow::Allowlist;
 
 /// Result of a lint run: surviving findings plus the suppression count.
 #[derive(Debug)]
@@ -148,6 +74,17 @@ pub struct LintReport {
 /// for none); `allowlist_path` is only used to report unused entries.
 pub fn lint_tree(root: &Path, allowlist_text: &str, allowlist_path: &str) -> LintReport {
     let mut allow = Allowlist::parse(allowlist_text);
+    let (mut findings, suppressed) = lint_tree_with(root, &mut allow);
+    findings.extend(allow.unused_findings(allowlist_path));
+    findings.sort();
+    findings.dedup();
+    LintReport { findings, suppressed }
+}
+
+/// Like [`lint_tree`] but runs against a caller-owned [`Allowlist`] and
+/// does *not* append stale-entry findings — the caller reports those
+/// once, after every pass sharing the allowlist has run.
+pub fn lint_tree_with(root: &Path, allow: &mut Allowlist) -> (Vec<Finding>, usize) {
     let mut findings = Vec::new();
     let mut suppressed = 0usize;
     for rel in rust_sources(root) {
@@ -169,10 +106,9 @@ pub fn lint_tree(root: &Path, allowlist_text: &str, allowlist_path: &str) -> Lin
             }
         }
     }
-    findings.extend(allow.unused_findings(allowlist_path));
     findings.sort();
     findings.dedup();
-    LintReport { findings, suppressed }
+    (findings, suppressed)
 }
 
 /// Enumerates `src/**/*.rs` of the root package and of every
@@ -236,8 +172,10 @@ fn is_crate_root(rel: &str) -> bool {
         || (tail.starts_with("src/bin/") && tail.ends_with(".rs") && tail.matches('/').count() == 2)
 }
 
-/// Marks every token inside a `#[cfg(test)]`-gated item.
-fn test_mask(tokens: &[Token]) -> Vec<bool> {
+/// Marks every token inside a `#[cfg(test)]`-gated item. Shared with
+/// the item-graph confinement pass so both agree on what "test code"
+/// means.
+pub(crate) fn test_mask(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0;
     while i + 6 < tokens.len() {
@@ -510,6 +448,11 @@ mod tests {
         let batched = lint_file("crates/fsencr/src/batch.rs", src);
         assert_eq!(batched.len(), 2, "{batched:?}");
         assert!(batched.iter().all(|f| f.rule == "hot-alloc"));
+        // The pad-uniqueness oracle records on the datapath (one call per
+        // fresh pad when enabled): its scratch is audited too.
+        let oracle = lint_file("crates/crypto/src/oracle.rs", src);
+        assert_eq!(oracle.len(), 2, "{oracle:?}");
+        assert!(oracle.iter().all(|f| f.rule == "hot-alloc"));
         // Sized allocations and cold reporting literals stay allowed.
         let fine = "fn f() { let v = Vec::with_capacity(16); let w = vec![1u8, 2]; }";
         assert!(lint_file("crates/secmem/src/metadata.rs", fine).is_empty());

@@ -1,8 +1,8 @@
 //! CLI for the static analysis gate.
 //!
 //! ```sh
-//! cargo run --release -p analysis -- check          # lint + layout + audit
-//! cargo run --release -p analysis -- lint           # lint only
+//! cargo run --release -p analysis -- check          # lint + confine + layout + audit
+//! cargo run --release -p analysis -- lint           # source passes (lint + confine)
 //! cargo run --release -p analysis -- layout         # invariants only
 //! cargo run --release -p analysis -- audit --full   # all scalable figures
 //! cargo run --release -p analysis -- lint --root crates/analysis/fixtures/violations
@@ -15,7 +15,8 @@
 
 use std::path::PathBuf;
 
-use analysis::{audit, layout_check, lint, Finding};
+use analysis::allow::Allowlist;
+use analysis::{audit, confine, layout_check, lint, Finding};
 
 struct Args {
     command: String,
@@ -48,7 +49,10 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
-fn run_lint(root: &std::path::Path) -> (Vec<Finding>, usize) {
+/// The source passes — token lint plus the item-graph confinement
+/// check — share one allowlist instance so the stale-entry check is
+/// global: an entry unused by *both* passes fails the gate.
+fn run_source_passes(root: &std::path::Path) -> (Vec<Finding>, usize) {
     // The audited-exception list lives next to this crate for the real
     // tree; fixture trees may carry their own at their root.
     let candidates = [
@@ -63,8 +67,14 @@ fn run_lint(root: &std::path::Path) -> (Vec<Finding>, usize) {
                 .map(|t| (t, p.display().to_string()))
         })
         .unwrap_or_default();
-    let report = lint::lint_tree(root, &text, &path);
-    (report.findings, report.suppressed)
+    let mut allow = Allowlist::parse(&text);
+    let (mut findings, lint_suppressed) = lint::lint_tree_with(root, &mut allow);
+    let (confine_findings, confine_suppressed) = confine::check_tree_with(root, &mut allow);
+    findings.extend(confine_findings);
+    findings.extend(allow.unused_findings(&path));
+    findings.sort();
+    findings.dedup();
+    (findings, lint_suppressed + confine_suppressed)
 }
 
 fn main() {
@@ -85,10 +95,10 @@ fn main() {
     let mut passes = Vec::new();
     match args.command.as_str() {
         "lint" => {
-            let (f, s) = run_lint(&root);
+            let (f, s) = run_source_passes(&root);
             findings.extend(f);
             suppressed = s;
-            passes.push("lint");
+            passes.extend(["lint", "confine"]);
         }
         "layout" => {
             findings.extend(layout_check::check());
@@ -99,12 +109,12 @@ fn main() {
             passes.push("audit");
         }
         "check" => {
-            let (f, s) = run_lint(&root);
+            let (f, s) = run_source_passes(&root);
             findings.extend(f);
             suppressed = s;
             findings.extend(layout_check::check());
             findings.extend(audit::run(args.full));
-            passes.extend(["lint", "layout", "audit"]);
+            passes.extend(["lint", "confine", "layout", "audit"]);
         }
         other => {
             eprintln!("error: unknown command `{other}`");

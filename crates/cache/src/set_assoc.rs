@@ -125,6 +125,15 @@ impl Cache {
         self.sets[set].iter().any(|e| e.tag == tag)
     }
 
+    /// Reads a line without disturbing LRU or statistics — the
+    /// side-effect-free sibling of [`Cache::lookup`], for oracles and
+    /// invariant checks that must observe the cache without perturbing
+    /// the simulated replacement behaviour they are checking.
+    pub fn peek(&self, addr: LineAddr) -> Option<&[u8; LINE_BYTES]> {
+        let (set, tag) = self.index_of(addr);
+        self.sets[set].iter().find(|e| e.tag == tag).map(|e| &e.data)
+    }
+
     /// Inserts (or overwrites) a line, returning the victim if one had to
     /// be evicted. Does not touch hit/miss statistics, but counts fills
     /// and evictions.

@@ -38,6 +38,7 @@ pub mod ctr;
 pub mod hmac;
 pub mod kdf;
 pub mod key;
+pub mod oracle;
 pub mod schedule;
 pub mod sha256;
 
@@ -46,5 +47,6 @@ pub use ctr::{ctr_pads_n, line_pad, line_pad_into, line_pad_with, xor_in_place, 
 pub use hmac::hmac_sha256;
 pub use kdf::{pbkdf2_hmac_sha256, KeyWrap};
 pub use key::Key128;
+pub use oracle::{pads_enabled, set_pads_enabled, PadLedger, PadReuse};
 pub use schedule::ScheduleCache;
 pub use sha256::{digest8_line, sha256, sha256_line, Sha256};

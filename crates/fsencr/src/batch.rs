@@ -247,6 +247,13 @@ impl MemoryController {
         for line in page.lines() {
             let block = line.block_in_page();
             let (cipher, t_read) = self.nvm.read_line(t, PhysAddr::new(line.get()));
+            // Pad-oracle note: repad strips one layer and re-applies it
+            // while the *other* layer stays in the bytes, so the content
+            // a fresh pad covers here isn't comparable with what the
+            // write path records for the same counters — these
+            // applications are deliberately unrecorded. Their IV
+            // freshness is structural: `carry_major` has just advanced
+            // the major, and no path ever re-issues an old major.
             let mut data = cipher;
             match repad {
                 Repad::Mem { old, new } => {

@@ -31,7 +31,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use fsencr_crypto::{ctr, Aes128, Key128, PadDomain, PadInput, ScheduleCache};
+use fsencr_crypto::{ctr, Aes128, Key128, PadDomain, PadInput, PadLedger, ScheduleCache};
 use fsencr_nvm::{LineAddr, NvmDevice, PageId, PhysAddr, LINE_BYTES};
 use fsencr_obs::Observer;
 use fsencr_secmem::{EccStore, Fecb, Mecb, MetadataLayout, MetadataSystem, TamperError};
@@ -179,6 +179,9 @@ pub struct MemoryController {
     /// Reused pad buffer so the per-line hot path never re-serializes an
     /// IV four times or juggles fresh 64-byte temporaries.
     pad_scratch: [u8; LINE_BYTES],
+    /// Pad-uniqueness oracle: every fresh (key, IV) the encrypt paths
+    /// issue is shadow-tracked when enabled; off (one branch) otherwise.
+    pad_ledger: PadLedger,
     stats: CtrlStats,
     /// Cycle-attribution observer; disabled (one-branch cost) by default.
     obs: Observer,
@@ -231,6 +234,7 @@ impl MemoryController {
             direct_encryption: cfg.direct_encryption,
             stop_loss: cfg.osiris_stop_loss.max(1),
             pad_scratch: [0u8; LINE_BYTES],
+            pad_ledger: PadLedger::new(),
             stats: CtrlStats::default(),
             obs: Observer::disabled(),
         }
@@ -246,6 +250,27 @@ impl MemoryController {
     /// need to corrupt media directly reach for this, visibly.
     pub fn debug_nvm_mut(&mut self) -> &mut NvmDevice {
         &mut self.nvm
+    }
+
+    /// Turns the pad-uniqueness oracle on or off for this controller.
+    /// New controllers honour [`fsencr_crypto::oracle::set_pads_enabled`];
+    /// this overrides per instance. Off by default: benches pay one
+    /// branch per pad and figure bytes are unaffected.
+    pub fn set_pad_oracle(&mut self, on: bool) {
+        self.pad_ledger.set_enabled(on);
+    }
+
+    /// Distinct (key, IV) pads the oracle has recorded (0 when off).
+    pub fn pad_oracle_distinct(&self) -> usize {
+        self.pad_ledger.distinct_pads()
+    }
+
+    /// Turns the metadata system's Merkle-coverage oracle on or off for
+    /// this controller. New controllers honour
+    /// [`fsencr_secmem::set_coverage_enabled`]; this overrides per
+    /// instance. Off by default, like the pad oracle.
+    pub fn set_coverage_oracle(&mut self, on: bool) {
+        self.meta.set_coverage_oracle(on);
     }
 
     /// One coherent copy of every datapath counter (controller, OTT,
@@ -340,20 +365,46 @@ impl MemoryController {
         self.locked
     }
 
+    /// The `OTP_mem` IV for `(page, block)` under `mecb`'s counters.
+    fn mem_pad_input(page: PageId, block: u8, mecb: &Mecb) -> PadInput {
+        PadInput {
+            page_id: page.get(),
+            block_in_page: block,
+            major: mecb.major(),
+            minor: mecb.minor(block as usize),
+            domain: PadDomain::Memory,
+        }
+    }
+
+    /// The `OTP_file` IV for `(page, block)` under `fecb`'s counters.
+    fn file_pad_input(page: PageId, block: u8, fecb: &Fecb) -> PadInput {
+        PadInput {
+            page_id: page.get(),
+            block_in_page: block,
+            major: fecb.major() as u64,
+            minor: fecb.minor(block as usize),
+            domain: PadDomain::File,
+        }
+    }
+
     /// Generates `OTP_mem` for `(page, block)` into the scratch buffer and
     /// XORs it into `data`.
     fn xor_mem_pad(&mut self, data: &mut [u8; LINE_BYTES], page: PageId, block: u8, mecb: &Mecb) {
-        ctr::line_pad_into(
-            &self.mem_aes,
-            &PadInput {
-                page_id: page.get(),
-                block_in_page: block,
-                major: mecb.major(),
-                minor: mecb.minor(block as usize),
-                domain: PadDomain::Memory,
-            },
-            &mut self.pad_scratch,
-        );
+        let input = Self::mem_pad_input(page, block, mecb);
+        ctr::line_pad_into(&self.mem_aes, &input, &mut self.pad_scratch);
+        ctr::xor_in_place(data, &self.pad_scratch);
+    }
+
+    /// [`Self::xor_mem_pad`] for *fresh* pad issue (encrypt paths only —
+    /// never pad stripping): the pad-uniqueness oracle records the
+    /// (key, IV, covered-content) triple before the XOR and the
+    /// controller halts on a genuine reuse. Zero simulated cost; one
+    /// real branch when the oracle is off.
+    fn fresh_mem_pad(&mut self, data: &mut [u8; LINE_BYTES], page: PageId, block: u8, mecb: &Mecb) {
+        let input = Self::mem_pad_input(page, block, mecb);
+        let issue = self.pad_ledger.record(&self.mem_key, &input, data);
+        assert!(issue.is_ok(), "memory-pad oracle: {:?}", issue.err());
+        ctr::line_pad_into(&self.mem_aes, &input, &mut self.pad_scratch);
         ctr::xor_in_place(data, &self.pad_scratch);
     }
 
@@ -367,13 +418,7 @@ impl MemoryController {
         block: u8,
         fecb: &Fecb,
     ) {
-        let input = PadInput {
-            page_id: page.get(),
-            block_in_page: block,
-            major: fecb.major() as u64,
-            minor: fecb.minor(block as usize),
-            domain: PadDomain::File,
-        };
+        let input = Self::file_pad_input(page, block, fecb);
         let aes = self.schedules.get(&key);
         ctr::line_pad_into(aes, &input, &mut self.pad_scratch);
         ctr::xor_in_place(data, &self.pad_scratch);
@@ -390,13 +435,26 @@ impl MemoryController {
         block: u8,
         fecb: &Fecb,
     ) {
-        let input = PadInput {
-            page_id: page.get(),
-            block_in_page: block,
-            major: fecb.major() as u64,
-            minor: fecb.minor(block as usize),
-            domain: PadDomain::File,
-        };
+        let input = Self::file_pad_input(page, block, fecb);
+        ctr::line_pad_into(aes, &input, &mut self.pad_scratch);
+        ctr::xor_in_place(data, &self.pad_scratch);
+    }
+
+    /// [`Self::xor_file_pad_with`] for fresh pad issue (encrypt paths
+    /// only): oracle-recorded like [`Self::fresh_mem_pad`]. `key` is the
+    /// unexpanded form of `aes`, identifying the epoch in the ledger.
+    fn fresh_file_pad_with(
+        &mut self,
+        data: &mut [u8; LINE_BYTES],
+        aes: &Aes128,
+        key: Key128,
+        page: PageId,
+        block: u8,
+        fecb: &Fecb,
+    ) {
+        let input = Self::file_pad_input(page, block, fecb);
+        let issue = self.pad_ledger.record(&key, &input, data);
+        assert!(issue.is_ok(), "file-pad oracle: {:?}", issue.err());
         ctr::line_pad_into(aes, &input, &mut self.pad_scratch);
         ctr::xor_in_place(data, &self.pad_scratch);
     }
@@ -639,7 +697,7 @@ impl MemoryController {
         self.obs.add("ctrl/write/pad_gen_cycles", self.aes_cycles);
 
         let mut cipher = *plaintext;
-        self.xor_mem_pad(&mut cipher, page, block, &mecb);
+        self.fresh_mem_pad(&mut cipher, page, block, &mecb);
 
         if self.file_pages.contains(&page.get()) && !self.locked {
             self.stats.file_accesses.incr();
@@ -674,7 +732,7 @@ impl MemoryController {
                 self.meta.persist_block(&mut self.nvm, facc.done, fecb_addr)?;
             }
             let aes = run.schedule(key, &mut self.schedules);
-            self.xor_file_pad_with(&mut cipher, aes, page, block, &fecb);
+            self.fresh_file_pad_with(&mut cipher, aes, key, page, block, &fecb);
             t_pads = t_pads.max(facc.done + self.aes_cycles);
             self.obs.add("ctrl/write/pad_gen_cycles", self.aes_cycles);
         }
@@ -1005,11 +1063,20 @@ impl MemoryController {
             }
             if any_m_bump || any_f_bump {
                 // Re-encrypt every recovered line under the final counters.
+                // Re-encryption starts from recovered plaintext, so the
+                // mem-pad record (digest of `f.plain`) lines up exactly
+                // with what the write path recorded for the same IV —
+                // idempotent replays stay clean, genuinely-new counter
+                // collisions trip the oracle. The file pad is applied
+                // *over* the mem layer, whose counters recovery may have
+                // rolled, so its covered bytes aren't comparable across
+                // contexts; it is applied unrecorded (the write path,
+                // its dominant issuer, still checks every file IV).
                 for f in &finds {
                     let mut cipher = f.plain;
                     let mut cand = Mecb::new();
                     cand.set(final_mecb.major(), f.block, final_mecb.minor(f.block));
-                    self.xor_mem_pad(&mut cipher, page, f.block as u8, &cand);
+                    self.fresh_mem_pad(&mut cipher, page, f.block as u8, &cand);
                     if is_file {
                         if let Some(k) = key {
                             let mut fcand = Fecb::new(fecb.gid(), fecb.fid());

@@ -516,6 +516,16 @@ impl Machine {
         &mut self.ctrl
     }
 
+    /// Turns the runtime security oracles (pad-uniqueness ledger and
+    /// Merkle-coverage walker) on or off for this machine. Both are off
+    /// by default — benches pay one branch per pad/persist and figure
+    /// bytes are unaffected; replay tests switch them on to turn the
+    /// paper's security argument into executed assertions.
+    pub fn set_security_oracles(&mut self, on: bool) {
+        self.ctrl.set_pad_oracle(on);
+        self.ctrl.set_coverage_oracle(on);
+    }
+
     /// Boot-auth lockout: suspends the file engine (reads/writes fall
     /// back to memory-only pads) until [`Machine::unlock_file_engine`].
     pub fn lock_file_engine(&mut self) {

@@ -43,4 +43,6 @@ pub mod metadata;
 pub use counters::{Fecb, Mecb, MINORS_PER_BLOCK, MINOR_LIMIT};
 pub use ecc::EccStore;
 pub use layout::MetadataLayout;
-pub use metadata::{MetaAccess, MetaStats, MetadataSystem, TamperError};
+pub use metadata::{
+    coverage_enabled, set_coverage_enabled, MetaAccess, MetaStats, MetadataSystem, TamperError,
+};

@@ -46,6 +46,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use fsencr_cache::{Cache, Eviction};
 use fsencr_crypto::digest8_line;
@@ -53,6 +54,23 @@ use fsencr_nvm::{LineAddr, NvmDevice, LINE_BYTES};
 use fsencr_sim::{config::SecurityConfig, Counter, Cycle, StatSource};
 
 use crate::layout::MetadataLayout;
+
+/// Process-wide default for the Merkle-coverage oracle of newly created
+/// [`MetadataSystem`]s. Per-instance state (not this flag) is what the
+/// persist paths consult, so toggling mid-run only affects systems built
+/// afterwards — deterministic for replay. Mirrors the pad-uniqueness
+/// oracle's `set_pads_enabled` in the crypto crate.
+static COVERAGE_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Sets the process-wide default for the Merkle-coverage oracle.
+pub fn set_coverage_enabled(on: bool) {
+    COVERAGE_ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// The process-wide default for the Merkle-coverage oracle.
+pub fn coverage_enabled() -> bool {
+    COVERAGE_ENABLED.load(Ordering::SeqCst)
+}
 
 /// Integrity-verification failure: the Merkle tree rejected a fetched line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -270,6 +288,22 @@ impl MetaCaches {
         }
     }
 
+    /// Side-effect-free read for the coverage oracle: routes to the same
+    /// partition as [`MetaCaches::get`] but perturbs neither LRU recency
+    /// nor hit/miss statistics, so running the oracle cannot change any
+    /// simulated behaviour it is checking.
+    fn peek(&self, kind: MetaKind, addr: LineAddr) -> Option<&[u8; LINE_BYTES]> {
+        let cache = match self {
+            MetaCaches::Unified(c) => c,
+            MetaCaches::Partitioned { mecb, fecb, nodes } => match kind {
+                MetaKind::Mecb => mecb,
+                MetaKind::Fecb => fecb,
+                MetaKind::Nodes => nodes,
+            },
+        };
+        cache.peek(addr)
+    }
+
     fn for_each_mut(&mut self, mut f: impl FnMut(&mut Cache)) {
         match self {
             MetaCaches::Unified(c) => f(c),
@@ -338,6 +372,11 @@ pub struct MetadataSystem {
     evict_scratch: VecDeque<Eviction>,
     /// Reusable scratch for full-cache flushes.
     dirty_scratch: Vec<Eviction>,
+    /// Merkle-coverage oracle: when on, every line this system persists
+    /// to NVM is re-verified reachable from the on-chip root (through
+    /// trusted cached ancestors) immediately after the persist completes.
+    /// Off by default — one branch per persist when disabled.
+    coverage_oracle: bool,
 }
 
 impl MetadataSystem {
@@ -391,6 +430,7 @@ impl MetadataSystem {
             climb_scratch: Vec::with_capacity(16),
             evict_scratch: VecDeque::with_capacity(16),
             dirty_scratch: Vec::with_capacity(64),
+            coverage_oracle: coverage_enabled(),
         }
     }
 
@@ -401,6 +441,111 @@ impl MetadataSystem {
     pub fn set_digest_memo_enabled(&mut self, enabled: bool) {
         self.memo.enabled = enabled;
         self.memo.clear();
+    }
+
+    /// Turns the Merkle-coverage oracle on or off for this instance
+    /// (overriding the process-wide [`set_coverage_enabled`] default the
+    /// constructor sampled). When on, every persisted line is checked
+    /// reachable from the root right after the persist — see
+    /// [`MetadataSystem::check_coverage`].
+    pub fn set_coverage_oracle(&mut self, on: bool) {
+        self.coverage_oracle = on;
+    }
+
+    /// Whether the Merkle-coverage oracle is on for this instance.
+    pub fn coverage_oracle(&self) -> bool {
+        self.coverage_oracle
+    }
+
+    /// Verifies the module invariant for one NVM-resident line, without
+    /// side effects: the digest of `addr`'s *media* content must be
+    /// found in its parent — the trusted cached copy if the parent is
+    /// resident, its NVM image otherwise — and, when the walk never
+    /// meets a cached ancestor, the chain must close on the on-chip
+    /// root. Accepts covered leaves (counters and OTT spill) and tree
+    /// nodes; all-zero media content is interpreted canonically, exactly
+    /// as the verification path does.
+    ///
+    /// Uses only peeks (no cache fills, no LRU touches, no statistics,
+    /// no simulated time), so interleaving checks with a workload cannot
+    /// change the workload's behaviour.
+    ///
+    /// # Errors
+    ///
+    /// [`TamperError`] identifying the tree level at which the digest
+    /// chain fails to close (`usize::MAX` for the root comparison).
+    pub fn check_coverage(&self, nvm: &NvmDevice, addr: LineAddr) -> Result<(), TamperError> {
+        let top = self.layout.merkle_levels() - 1;
+        let (mut expected, mut level, mut child) = if self.layout.is_metadata(addr) {
+            let bytes = nvm.peek_line(addr.into_phys());
+            (self.line_digest(&bytes), 0usize, self.layout.leaf_index(addr))
+        } else if let Some((lvl, idx)) = self.layout.node_coords(addr) {
+            let node = self.interpret_node(lvl, nvm.peek_line(addr.into_phys()));
+            let digest = if node == self.canon_nodes[lvl] {
+                self.canon_digests[lvl]
+            } else {
+                digest8(&node)
+            };
+            if lvl == top {
+                return if digest == self.root {
+                    Ok(())
+                } else {
+                    Err(TamperError { addr, level: usize::MAX })
+                };
+            }
+            (digest, lvl + 1, idx)
+        } else {
+            // Data lines are pad-protected, not tree-covered; nothing to
+            // check. Persist paths never pass one here.
+            debug_assert!(self.layout.is_data(addr), "{addr:?} outside the device layout");
+            return Ok(());
+        };
+        loop {
+            let (node_idx, slot) = (child / 8, (child % 8) as usize);
+            let node_addr = self.layout.node_addr(level, node_idx);
+            if let Some(node) = self.cache.peek(self.kind_of(node_addr), node_addr) {
+                // Trusted on-chip ancestor: one slot check closes the chain.
+                return if Self::slot_of(node, slot) == expected {
+                    Ok(())
+                } else {
+                    Err(TamperError { addr, level })
+                };
+            }
+            let node = self.interpret_node(level, nvm.peek_line(node_addr.into_phys()));
+            if Self::slot_of(&node, slot) != expected {
+                return Err(TamperError { addr, level });
+            }
+            expected = if node == self.canon_nodes[level] {
+                self.canon_digests[level]
+            } else {
+                digest8(&node)
+            };
+            if level == top {
+                return if expected == self.root {
+                    Ok(())
+                } else {
+                    Err(TamperError { addr, level: usize::MAX })
+                };
+            }
+            level += 1;
+            child = node_idx;
+        }
+    }
+
+    /// Coverage-oracle hook on the persist paths: a violation here means
+    /// a line reached NVM whose digest chain does not close — the
+    /// invariant every verification climb relies on is broken, so abort
+    /// loudly rather than let a later read trust a stale tree.
+    fn assert_covered(&self, nvm: &NvmDevice, addr: LineAddr) {
+        if !self.coverage_oracle {
+            return;
+        }
+        let check = self.check_coverage(nvm, addr);
+        assert!(
+            check.is_ok(),
+            "merkle-coverage oracle: persisted {addr:?} unreachable from the root: {:?}",
+            check.err()
+        );
     }
 
     /// The layout this system manages.
@@ -821,6 +966,7 @@ impl MetadataSystem {
             // parent insertion evicted something.
             t = self.drain_queue(nvm, t, &mut queue);
             self.evict_scratch = queue;
+            self.assert_covered(nvm, addr);
         }
         Ok(MetaAccess { done: t, cache_hit: hit })
     }
@@ -893,6 +1039,7 @@ impl MetadataSystem {
         queue.clear();
         t = self.bump_parent(nvm, t, addr, &bytes, queue);
         t = self.drain_queue(nvm, t, queue);
+        self.assert_covered(nvm, addr);
         Ok(t)
     }
 
@@ -908,6 +1055,10 @@ impl MetadataSystem {
             self.pending.remove(&ev.addr.get());
             t = nvm.write_line(t, ev.addr.into_phys(), &ev.data);
             t = self.bump_parent(nvm, t, ev.addr, &ev.data, queue);
+            // bump_parent just left the victim's parent cached (or bumped
+            // the root), so this check closes in one level — cheap enough
+            // to run per write-back.
+            self.assert_covered(nvm, ev.addr);
         }
         t
     }
@@ -929,6 +1080,7 @@ impl MetadataSystem {
             for ev in &dirty {
                 t = nvm.write_line(t, ev.addr.into_phys(), &ev.data);
                 t = self.bump_parent(nvm, t, ev.addr, &ev.data, &mut queue);
+                self.assert_covered(nvm, ev.addr);
             }
             t = self.drain_queue(nvm, t, &mut queue);
         }
@@ -1002,6 +1154,15 @@ impl MetadataSystem {
         // rebuild rewrote node lines directly on media; every memoized
         // digest is suspect, and nothing is resident anyway.
         self.memo.clear();
+        if self.coverage_oracle {
+            // Post-crash the cache is empty, so every chain must close on
+            // the freshly installed root through NVM-resident nodes alone.
+            // Sweep the whole covered region — rebuild is rare enough to
+            // afford the full walk.
+            for leaf in self.layout.leaves() {
+                self.assert_covered(nvm, leaf);
+            }
+        }
     }
 }
 
@@ -1349,6 +1510,109 @@ mod tests {
         let (bytes, _) = sys.read_block(&mut nvm, Cycle::ZERO, addr).unwrap();
         assert_eq!(bytes, [0x5au8; 64]);
         assert_eq!(nvm.peek_line(addr.into_phys()), [0x5au8; 64]);
+    }
+
+    #[test]
+    fn coverage_oracle_is_invisible_to_behavior() {
+        // Same workload with the oracle on vs off: every completion
+        // cycle, the root, and all media bytes must agree — the oracle
+        // only peeks.
+        let (mut on, mut nvm_on) = small_setup();
+        let (mut off, mut nvm_off) = small_setup();
+        on.set_coverage_oracle(true);
+        let (mut t_on, mut t_off) = (Cycle::ZERO, Cycle::ZERO);
+        for p in 0..64u64 {
+            let addr = on.layout().mecb_addr(PageId::new(p));
+            let data = [p as u8 + 1; 64];
+            t_on = on.write_block(&mut nvm_on, t_on, addr, data).unwrap().done;
+            t_off = off.write_block(&mut nvm_off, t_off, addr, data).unwrap().done;
+            assert_eq!(t_on, t_off, "page {p}");
+        }
+        let addr = on.layout().fecb_addr(PageId::new(0));
+        t_on = on.persist_block(&mut nvm_on, t_on, addr).unwrap();
+        t_off = off.persist_block(&mut nvm_off, t_off, addr).unwrap();
+        assert_eq!(t_on, t_off);
+        t_on = on.flush(&mut nvm_on, t_on);
+        t_off = off.flush(&mut nvm_off, t_off);
+        assert_eq!(t_on, t_off);
+        assert_eq!(on.root(), off.root());
+        assert_eq!(on.stat_rows(), off.stat_rows());
+        for leaf in on.layout().leaves() {
+            assert_eq!(
+                nvm_on.peek_line(leaf.into_phys()),
+                nvm_off.peek_line(leaf.into_phys())
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_check_closes_on_live_state_and_rejects_tampering() {
+        let (mut sys, mut nvm) = small_setup();
+        sys.set_coverage_oracle(true);
+        assert!(sys.coverage_oracle());
+        let addr = sys.layout().mecb_addr(PageId::new(4));
+        sys.write_block(&mut nvm, Cycle::ZERO, addr, [0x33u8; 64]).unwrap();
+        let t = sys.persist_block(&mut nvm, Cycle::ZERO, addr).unwrap();
+        // Dirty-in-cache sibling: its *media* image (still zero) must
+        // also be covered — the invariant speaks about NVM content.
+        let sibling = sys.layout().fecb_addr(PageId::new(4));
+        sys.write_block(&mut nvm, t, sibling, [0x44u8; 64]).unwrap();
+        assert!(sys.check_coverage(&nvm, addr).is_ok());
+        assert!(sys.check_coverage(&nvm, sibling).is_ok());
+        // A chain through NVM-resident nodes also closes post-crash.
+        sys.flush(&mut nvm, t);
+        sys.crash();
+        assert!(sys.check_coverage(&nvm, addr).is_ok());
+        // Tamper the persisted leaf: no trusted ancestor vouches for the
+        // new content, so the walk must fail at the first level.
+        let mut evil = nvm.peek_line(addr.into_phys());
+        evil[0] ^= 0xff;
+        nvm.poke_line(addr.into_phys(), &evil);
+        let err = sys.check_coverage(&nvm, addr).unwrap_err();
+        assert_eq!(err.addr, addr);
+        assert_eq!(err.level, 0);
+        // Tree nodes are checkable lines in their own right.
+        let leaf = sys.layout().leaf_index(addr);
+        let node_addr = sys.layout().node_addr(0, leaf / 8);
+        assert!(sys.check_coverage(&nvm, node_addr).is_ok());
+        let mut evil_node = nvm.peek_line(node_addr.into_phys());
+        evil_node[63] ^= 1;
+        nvm.poke_line(node_addr.into_phys(), &evil_node);
+        assert!(sys.check_coverage(&nvm, node_addr).is_err());
+    }
+
+    #[test]
+    fn coverage_oracle_rides_eviction_pressure_and_rebuild() {
+        // The oracle asserts inside every persist path; pushing an
+        // over-capacity workload through flush, crash and rebuild with
+        // it enabled exercises those asserts on eviction cascades,
+        // Osiris write-throughs and the post-rebuild sweep.
+        let (mut sys, mut nvm) = small_setup();
+        sys.set_coverage_oracle(true);
+        let mut t = Cycle::ZERO;
+        for p in 0..64u64 {
+            let addr = sys.layout().mecb_addr(PageId::new(p));
+            t = sys.write_block(&mut nvm, t, addr, [p as u8 + 1; 64]).unwrap().done;
+        }
+        assert!(sys.stats().evict_writebacks.get() > 0, "pressure must evict");
+        t = sys.flush(&mut nvm, t);
+        sys.crash();
+        sys.rebuild(&mut nvm);
+        let (bytes, _) = sys
+            .read_block(&mut nvm, t, sys.layout().mecb_addr(PageId::new(7)))
+            .unwrap();
+        assert_eq!(bytes, [8u8; 64]);
+    }
+
+    #[test]
+    fn new_systems_honour_the_process_default() {
+        // Restore whatever was set before the test: the flag is
+        // process-global and tests share one process.
+        let prev = coverage_enabled();
+        set_coverage_enabled(true);
+        let (sys, _) = small_setup();
+        set_coverage_enabled(prev);
+        assert!(sys.coverage_oracle());
     }
 
     #[test]

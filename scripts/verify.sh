@@ -5,6 +5,11 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+t_start=$(date +%s)
+elapsed() {
+    echo "    [verify wall-clock so far: $(( $(date +%s) - t_start ))s]"
+}
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -14,6 +19,12 @@ cargo test -q --workspace
 echo "==> batched-datapath equivalence: region ops vs legacy per-line path"
 cargo test -q -p fsencr --test batch_equivalence
 cargo test -q -p fsencr-workloads --test batch_parity
+
+echo "==> security-oracle replay: figures + rekey + crash recovery under armed oracles"
+t_oracle=$(date +%s)
+cargo test -q -p fsencr-bench --test oracle_replay
+echo "    [oracle replay took $(( $(date +%s) - t_oracle ))s]"
+elapsed
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
@@ -27,9 +38,9 @@ bench_dir="$(mktemp -d)"
 ./target/release/harness bench-check "$bench_dir/BENCH_harness.json"
 rm -rf "$bench_dir"
 
-echo "==> static analysis self-test: lint must fail on the seeded-violation fixtures"
+echo "==> static analysis self-test: the gate must fail on the seeded-violation fixtures"
 if cargo run --release -q -p analysis -- lint --root crates/analysis/fixtures/violations >/tmp/fsencr_lint_fixture.out 2>&1; then
-    echo "FAIL: lint pass reported the seeded-violation fixture tree as clean" >&2
+    echo "FAIL: source passes reported the seeded-violation fixture tree as clean" >&2
     exit 1
 fi
 # The fixture tree seeds violations in every guarded crate class,
@@ -40,6 +51,22 @@ for seeded in "crates/bench/src/lib.rs" "crates/fsencr/src/lib.rs" "crates/obs/s
         exit 1
     fi
 done
+# The confinement fixtures: a plaintext leak reaching a raw NVM write
+# (directly and through a caller) and a counter-free IV-reuse pad site.
+# Each must be reported under its confinement rule.
+for seeded in "crates/fsencr/src/leak.rs" "crates/workloads/src/ivreuse.rs"; do
+    if ! grep -q "$seeded" /tmp/fsencr_lint_fixture.out; then
+        echo "FAIL: confinement pass did not flag seeded violations in $seeded" >&2
+        exit 1
+    fi
+done
+for rule in "plaintext-confinement" "confinement-reach" "pad-site"; do
+    if ! grep -q "$rule" /tmp/fsencr_lint_fixture.out; then
+        echo "FAIL: seeded fixtures did not trip the $rule rule" >&2
+        exit 1
+    fi
+done
+elapsed
 
 # Optional deeper checkers: run when the toolchain supports them,
 # skip gracefully when it does not (offline container has no
@@ -58,4 +85,4 @@ else
     echo "==> ThreadSanitizer pass skipped (set FSENCR_TSAN=1 with a nightly toolchain to enable)"
 fi
 
-echo "==> verify OK"
+echo "==> verify OK in $(( $(date +%s) - t_start ))s"
