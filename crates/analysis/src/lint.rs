@@ -37,7 +37,7 @@ use crate::lexer::{lex, Token, TokenKind};
 use crate::Finding;
 
 /// Crates whose non-test code must be panic-free and cast-safe.
-const HOT_CRATES: [&str; 6] = ["fsencr", "secmem", "crypto", "nvm", "cache", "obs"];
+const HOT_CRATES: [&str; 7] = ["fsencr", "secmem", "crypto", "nvm", "cache", "obs", "faults"];
 
 /// Crates whose output is figure bytes and must be deterministic.
 const FIGURE_CRATES: [&str; 3] = ["bench", "sim", "obs"];
@@ -48,13 +48,14 @@ const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 /// Files whose inner loops (verification chains, line digests, pad
 /// generation) must stay allocation-free: scratch lives in the owning
 /// struct and is reused across calls.
-const ALLOC_FREE_FILES: [&str; 6] = [
+const ALLOC_FREE_FILES: [&str; 7] = [
     "crates/secmem/src/metadata.rs",
     "crates/crypto/src/sha256.rs",
     "crates/crypto/src/ctr.rs",
     "crates/crypto/src/schedule.rs",
     "crates/crypto/src/oracle.rs",
     "crates/fsencr/src/batch.rs",
+    "crates/faults/src/inject.rs",
 ];
 
 pub use crate::allow::Allowlist;

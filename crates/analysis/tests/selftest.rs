@@ -30,10 +30,10 @@ fn fixtures_trip_every_rule() {
 
     // crates/fsencr fixture: missing forbid, unwrap, expect, panic!,
     // two lossy casts; crates/obs fixture: missing forbid, one unwrap,
-    // one lossy cast — and nothing from #[cfg(test)] modules, doc
-    // comments or string literals.
+    // one lossy cast; crates/faults fixture: one unwrap — and nothing
+    // from #[cfg(test)] modules, doc comments or string literals.
     assert_eq!(count("forbid-unsafe"), 2, "{}", render(&report.findings));
-    assert_eq!(count("no-panic"), 4, "{}", render(&report.findings));
+    assert_eq!(count("no-panic"), 5, "{}", render(&report.findings));
     assert_eq!(count("lossy-cast"), 3, "{}", render(&report.findings));
 
     // crates/bench fixture: HashMap, HashSet, Instant, SystemTime on
@@ -42,10 +42,11 @@ fn fixtures_trip_every_rule() {
     assert_eq!(count("nondeterminism"), 13, "{}", render(&report.findings));
 
     // crates/fsencr/src/batch.rs fixture: one bare `Vec::new()` and one
-    // bare `VecDeque::new()` — sized allocations, doc comments and test
+    // bare `VecDeque::new()`; crates/faults/src/inject.rs fixture: one
+    // bare `Vec::new()` — sized allocations, doc comments and test
     // modules exempt.
-    assert_eq!(count("hot-alloc"), 2, "{}", render(&report.findings));
-    assert_eq!(report.findings.len(), 24, "{}", render(&report.findings));
+    assert_eq!(count("hot-alloc"), 3, "{}", render(&report.findings));
+    assert_eq!(report.findings.len(), 26, "{}", render(&report.findings));
     assert_eq!(report.suppressed, 0);
 
     // The observability crate is held to both bars: the obs fixture must

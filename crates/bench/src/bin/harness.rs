@@ -53,7 +53,7 @@ use fsencr_sim::{Cycle, MachineConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness [--jobs N] [--no-cache] <fig3|fig8-10|fig11|fig12-14|fig15|table1|params|list|bench|bench-check|ablation-ott|ablation-osiris|ablation-direct|ablation-partition|all> [scale]\n       harness [--jobs N] profile <fig3|fig8-10|fig11|fig12-14> [scale]\n\nFigure subcommands reuse cached cell results from CACHE_cells.json\n(content-addressed; output is byte-identical either way). `--no-cache`\ndisables the cache; deleting the file invalidates it."
+        "usage: harness [--jobs N] [--no-cache] <fig3|fig8-10|fig11|fig12-14|fig15|table1|params|list|bench|bench-check|ablation-ott|ablation-osiris|ablation-direct|ablation-partition|all> [scale]\n       harness [--jobs N] profile <fig3|fig8-10|fig11|fig12-14> [scale]\n       harness [--jobs N] faults [--seed N] [--campaign SPEC] [--out PATH]\n\nFigure subcommands reuse cached cell results from CACHE_cells.json\n(content-addressed; output is byte-identical either way). `--no-cache`\ndisables the cache; deleting the file invalidates it.\n\n`faults` runs a deterministic fault-injection campaign and writes\nFAULTS_report.json (byte-identical at any --jobs count). SPEC is a\ncomma list like `scenarios=8,ops=64,bitrot=2,torn=1,cuts=1,stuck=1`;\nomitted knobs keep their defaults (`default` for all defaults)."
     );
     std::process::exit(2);
 }
@@ -606,6 +606,58 @@ fn bench_check(path: &str) {
     println!("[bench-check] {path}: OK ({} cells)", cells.len());
 }
 
+/// `harness faults`: runs a deterministic fault-injection campaign and
+/// writes `FAULTS_report.json`. Exits non-zero if any in-coverage
+/// corruption went undetected — the report is a pass/fail artifact, not
+/// just telemetry.
+fn faults(args: &[String]) {
+    let mut seed: u64 = 42;
+    let mut spec_str = String::from("default");
+    let mut out_path = String::from("FAULTS_report.json");
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let mut take = |key: &str| -> Option<String> {
+            if arg == key {
+                let v = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+                Some(v)
+            } else if let Some(v) = arg.strip_prefix(&format!("{key}=")) {
+                i += 1;
+                Some(v.to_string())
+            } else {
+                None
+            }
+        };
+        if let Some(v) = take("--seed") {
+            seed = v.parse().unwrap_or_else(|_| usage());
+        } else if let Some(v) = take("--campaign") {
+            spec_str = v;
+        } else if let Some(v) = take("--out") {
+            out_path = v;
+        } else {
+            usage();
+        }
+    }
+    let spec: fsencr_faults::CampaignSpec = spec_str.parse().unwrap_or_else(|e| {
+        eprintln!("[faults] bad --campaign spec: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("[faults] seed {seed}, campaign {spec}");
+    let report = exp::faultcamp::run_campaign(seed, &spec);
+    std::fs::write(&out_path, report.to_json())
+        .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("[faults] {}", report.summary());
+    eprintln!("[faults] wrote {out_path}");
+    if report.undetected_in_coverage() > 0 {
+        eprintln!(
+            "[faults] FAIL: {} in-coverage corruption(s) went undetected",
+            report.undetected_in_coverage()
+        );
+        std::process::exit(1);
+    }
+}
+
 /// `harness profile <fig>`: re-runs the figure's cells with the machine
 /// observer enabled and emits the per-cell cycle-attribution breakdown,
 /// plus JSON and chrome-trace exports next to the working directory.
@@ -668,6 +720,12 @@ fn main() {
     }
     if which == "bench-check" {
         bench_check(args.get(1).map_or("BENCH_harness.json", String::as_str));
+        return;
+    }
+    if which == "faults" {
+        let t0 = std::time::Instant::now();
+        faults(&args[1..]);
+        eprintln!("[harness] completed in {:.1?}", t0.elapsed());
         return;
     }
     let scale_arg: Option<f64> = args.get(1).map(|s| s.parse().unwrap_or_else(|_| usage()));

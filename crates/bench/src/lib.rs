@@ -16,6 +16,7 @@
 
 pub mod cellcache;
 pub mod experiments;
+pub mod faultcamp;
 pub mod jsonio;
 pub mod pool;
 pub mod profile;

@@ -200,12 +200,29 @@ impl MemoryController {
         now: Cycle,
         writes: &[(PhysAddr, [u8; LINE_BYTES])],
     ) -> Result<Cycle, MemError> {
+        // Torn-write fault scope: an armed injector may drop the tail of
+        // the device writes issued inside this region (data lines *and*
+        // metadata write-backs — a tear cuts wherever the bus happened
+        // to be). One branch when disarmed.
+        if let Some(inj) = self.fault_injector_mut() {
+            inj.begin_region(writes.len() as u64);
+        }
         let mut run = RegionRun::new();
         let mut t = now;
+        let mut res = Ok(t);
         for (addr, data) in writes {
-            t = self.write_line_with(t, *addr, data, &mut run)?;
+            match self.write_line_with(t, *addr, data, &mut run) {
+                Ok(done) => t = done,
+                Err(e) => {
+                    res = Err(e);
+                    break;
+                }
+            }
         }
-        Ok(t)
+        if let Some(inj) = self.fault_injector_mut() {
+            inj.end_region();
+        }
+        res.map(|_| t)
     }
 
     /// Fan-out region write: every line is issued at `now` — the
@@ -222,13 +239,26 @@ impl MemoryController {
         now: Cycle,
         writes: &[(PhysAddr, [u8; LINE_BYTES])],
     ) -> Result<Cycle, MemError> {
+        // Same torn-write fault scope as `write_lines`.
+        if let Some(inj) = self.fault_injector_mut() {
+            inj.begin_region(writes.len() as u64);
+        }
         let mut run = RegionRun::new();
         let mut fence_at = now;
+        let mut res = Ok(());
         for (addr, data) in writes {
-            let done = self.write_line_with(now, *addr, data, &mut run)?;
-            fence_at = fence_at.max(done);
+            match self.write_line_with(now, *addr, data, &mut run) {
+                Ok(done) => fence_at = fence_at.max(done),
+                Err(e) => {
+                    res = Err(e);
+                    break;
+                }
+            }
         }
-        Ok(fence_at)
+        if let Some(inj) = self.fault_injector_mut() {
+            inj.end_region();
+        }
+        res.map(|()| fence_at)
     }
 
     /// Re-pads every line of `page`: read at the previous completion,

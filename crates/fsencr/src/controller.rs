@@ -29,10 +29,11 @@
 //! engine. The PTE-level DF-bit is still modelled in `fsencr_fs` for
 //! fidelity.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use fsencr_crypto::{ctr, Aes128, Key128, PadDomain, PadInput, PadLedger, ScheduleCache};
-use fsencr_nvm::{LineAddr, NvmDevice, PageId, PhysAddr, LINE_BYTES};
+use fsencr_faults::{FaultEvent, FaultInjector, FaultPlan};
+use fsencr_nvm::{LineAddr, NvmDevice, NvmError, PageId, PhysAddr, LINE_BYTES};
 use fsencr_obs::Observer;
 use fsencr_secmem::{EccStore, Fecb, Mecb, MetadataLayout, MetadataSystem, TamperError};
 use fsencr_sim::{config::SecurityConfig, Counter, Cycle, Histogram, StatSource};
@@ -49,11 +50,43 @@ pub mod batch;
 
 use batch::{RegionRun, Repad};
 
+/// Integrity-verification failures, surfaced as values.
+///
+/// Detection is the paper's product: when the Merkle-verified metadata
+/// system (or the quarantine fence seeded by it) refuses bytes, the
+/// datapath reports *what* failed instead of panicking, so a fault
+/// campaign can keep running and audit coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityError {
+    /// Merkle verification failed — tampering or replay detected.
+    Tamper(TamperError),
+    /// The line (or metadata covering it) was quarantined after an
+    /// earlier integrity failure; access stays fenced until the
+    /// quarantine is cleared.
+    Quarantined {
+        /// The quarantined line (line-aligned byte address).
+        line: u64,
+    },
+}
+
+impl std::fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IntegrityError::Tamper(e) => write!(f, "{e}"),
+            IntegrityError::Quarantined { line } => {
+                write!(f, "line {line:#x} is quarantined after an integrity failure")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
 /// Errors surfaced by the memory datapath.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemError {
-    /// Merkle verification failed — tampering or replay detected.
-    Tamper(TamperError),
+    /// An integrity failure (tamper detection or quarantine fence).
+    Integrity(IntegrityError),
     /// A file line was accessed but no key for its (gid, fid) exists in
     /// the OTT or the spill region.
     KeyUnavailable {
@@ -64,25 +97,41 @@ pub enum MemError {
     },
     /// The OTT spill region overflowed.
     SpillFull,
+    /// The media operation itself was invalid (address out of range or
+    /// outside the datapath-addressable window).
+    Nvm(NvmError),
 }
 
 impl std::fmt::Display for MemError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MemError::Tamper(e) => write!(f, "{e}"),
+            MemError::Integrity(e) => write!(f, "{e}"),
             MemError::KeyUnavailable { gid, fid } => {
                 write!(f, "no file key for gid {gid} fid {fid}")
             }
             MemError::SpillFull => f.write_str("ott spill region is full"),
+            MemError::Nvm(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for MemError {}
 
+impl From<IntegrityError> for MemError {
+    fn from(e: IntegrityError) -> Self {
+        MemError::Integrity(e)
+    }
+}
+
 impl From<TamperError> for MemError {
     fn from(e: TamperError) -> Self {
-        MemError::Tamper(e)
+        MemError::Integrity(IntegrityError::Tamper(e))
+    }
+}
+
+impl From<NvmError> for MemError {
+    fn from(e: NvmError) -> Self {
+        MemError::Nvm(e)
     }
 }
 
@@ -90,7 +139,7 @@ impl From<SpillError> for MemError {
     fn from(e: SpillError) -> Self {
         match e {
             SpillError::Full => MemError::SpillFull,
-            SpillError::Tamper(t) => MemError::Tamper(t),
+            SpillError::Tamper(t) => MemError::Integrity(IntegrityError::Tamper(t)),
         }
     }
 }
@@ -121,6 +170,9 @@ pub struct RecoveryReport {
     pub repaired: u64,
     /// Lines no counter candidate could explain (data loss).
     pub unrecoverable: u64,
+    /// Lines newly quarantined by this recovery (a subset of
+    /// `unrecoverable`; zero unless auto-quarantine is enabled).
+    pub quarantined: u64,
 }
 
 /// The processor-resident secrets that accompany a migrated NVM module:
@@ -185,6 +237,14 @@ pub struct MemoryController {
     stats: CtrlStats,
     /// Cycle-attribution observer; disabled (one-branch cost) by default.
     obs: Observer,
+    /// Lines fenced off after integrity failures (data lines denied on
+    /// the datapath; metadata lines skipped — zeroed, not re-trusted —
+    /// by the post-recovery Merkle rebuild). Empty by default: the hot
+    /// path pays one `is_empty` branch.
+    quarantine: BTreeSet<u64>,
+    /// When set, tamper errors and unrecoverable lines quarantine
+    /// themselves. Off by default so baseline behaviour is unchanged.
+    auto_quarantine: bool,
 }
 
 impl std::fmt::Debug for MemoryController {
@@ -237,6 +297,8 @@ impl MemoryController {
             pad_ledger: PadLedger::new(),
             stats: CtrlStats::default(),
             obs: Observer::disabled(),
+            quarantine: BTreeSet::new(),
+            auto_quarantine: false,
         }
     }
 
@@ -250,6 +312,83 @@ impl MemoryController {
     /// need to corrupt media directly reach for this, visibly.
     pub fn debug_nvm_mut(&mut self) -> &mut NvmDevice {
         &mut self.nvm
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection & quarantine (graceful degradation).
+    // ------------------------------------------------------------------
+
+    /// Arms a deterministic fault plan on the device. Replaces any
+    /// previously armed injector and heals the wear-out overlay first,
+    /// so every campaign scenario starts from pristine media.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.nvm.set_fault_injector(None);
+        self.nvm.set_fault_injector(Some(FaultInjector::new(plan)));
+    }
+
+    /// Disarms the injector (healing stuck cells), returning the log of
+    /// every fault it applied.
+    pub fn disarm_faults(&mut self) -> Vec<FaultEvent> {
+        let events = self
+            .nvm
+            .fault_injector_mut()
+            .map(FaultInjector::take_events)
+            .unwrap_or_default();
+        self.nvm.set_fault_injector(None);
+        events
+    }
+
+    /// The armed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.nvm.fault_injector()
+    }
+
+    /// Mutable access to the armed injector for the barrier/region hooks
+    /// and campaign drivers (power-cut polling, event drains).
+    pub(crate) fn fault_injector_mut(&mut self) -> Option<&mut FaultInjector> {
+        self.nvm.fault_injector_mut()
+    }
+
+    /// True while an armed injector has cut power: device writes are
+    /// being dropped and the machine should crash-recover.
+    pub fn power_lost(&self) -> bool {
+        self.nvm.fault_injector().is_some_and(FaultInjector::power_lost)
+    }
+
+    /// Restores power after a cut. The caller is expected to `crash()`
+    /// and `recover()` before trusting the device again.
+    pub fn restore_power(&mut self) {
+        if let Some(inj) = self.nvm.fault_injector_mut() {
+            inj.restore_power();
+        }
+    }
+
+    /// When enabled, tamper detections on the datapath and unrecoverable
+    /// lines found during recovery quarantine themselves. Off by default
+    /// (baseline behaviour unchanged).
+    pub fn set_auto_quarantine(&mut self, on: bool) {
+        self.auto_quarantine = on;
+    }
+
+    /// Whether auto-quarantine is enabled.
+    pub fn auto_quarantine(&self) -> bool {
+        self.auto_quarantine
+    }
+
+    /// Manually quarantines a line (line-aligned byte address): the
+    /// datapath denies it and Merkle rebuilds refuse to re-trust it.
+    pub fn quarantine_line(&mut self, line: u64) {
+        self.quarantine.insert(line);
+    }
+
+    /// Lifts every quarantine.
+    pub fn clear_quarantine(&mut self) {
+        self.quarantine.clear();
+    }
+
+    /// Currently quarantined lines, in address order.
+    pub fn quarantined_lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.quarantine.iter().copied()
     }
 
     /// Turns the pad-uniqueness oracle on or off for this controller.
@@ -495,11 +634,9 @@ impl MemoryController {
     ///
     /// # Errors
     ///
-    /// Integrity failures and missing file keys.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `addr` is outside the data region in encrypted mode.
+    /// Integrity failures (tampering, quarantined lines), missing file
+    /// keys, and invalid media addresses — all typed, never a panic, so
+    /// fault campaigns degrade gracefully.
     pub fn read_line(
         &mut self,
         now: Cycle,
@@ -513,7 +650,31 @@ impl MemoryController {
     /// building block of [`Self::read_lines`]. Identical simulated
     /// behaviour; the memo only short-circuits byte-identical counter
     /// parses and redundant schedule probes.
+    ///
+    /// This wrapper is also the graceful-degradation fence: it validates
+    /// the address, denies quarantined lines, and (when auto-quarantine
+    /// is on) turns tamper detections into standing quarantines.
     pub(crate) fn read_line_with(
+        &mut self,
+        now: Cycle,
+        addr: PhysAddr,
+        run: &mut RegionRun,
+    ) -> Result<([u8; LINE_BYTES], Cycle), MemError> {
+        self.nvm.check_addr(addr)?;
+        if !self.quarantine.is_empty() && self.quarantine.contains(&addr.line().get()) {
+            return Err(IntegrityError::Quarantined { line: addr.line().get() }.into());
+        }
+        let res = self.read_line_inner(now, addr, run);
+        if self.auto_quarantine {
+            if let Err(MemError::Integrity(IntegrityError::Tamper(t))) = &res {
+                self.quarantine.insert(t.addr.get());
+                self.quarantine.insert(addr.line().get());
+            }
+        }
+        res
+    }
+
+    fn read_line_inner(
         &mut self,
         now: Cycle,
         addr: PhysAddr,
@@ -531,10 +692,9 @@ impl MemoryController {
             self.obs.span("ctrl", "read_line", now.get(), t_data.get(), addr.get());
             return Ok((cipher, t_data));
         }
-        assert!(
-            self.meta.layout().is_data(line),
-            "{line:?} outside encrypted data region"
-        );
+        if !self.meta.layout().is_data(line) {
+            return Err(NvmError::OutsideDataRegion { addr: line.get() }.into());
+        }
         let page = line.page();
         let block = line.block_in_page();
 
@@ -634,7 +794,36 @@ impl MemoryController {
     /// the building block of [`Self::write_lines`]. Identical simulated
     /// behaviour; the memo only short-circuits byte-identical counter
     /// parses and redundant schedule probes.
+    ///
+    /// Like the read twin, this wrapper is the graceful-degradation
+    /// fence (address validation, quarantine denial, auto-quarantine of
+    /// tamper detections).
     pub(crate) fn write_line_with(
+        &mut self,
+        now: Cycle,
+        addr: PhysAddr,
+        plaintext: &[u8; LINE_BYTES],
+        run: &mut RegionRun,
+    ) -> Result<Cycle, MemError> {
+        self.nvm.check_addr(addr)?;
+        // Writes *heal* a quarantined line rather than bouncing off it:
+        // a full-line write re-records the ECC belief and bumps fresh
+        // counters, so nothing of the distrusted bytes survives —
+        // bad-sector rewrite semantics. Reads stay fenced until then.
+        if !self.quarantine.is_empty() {
+            self.quarantine.remove(&addr.line().get());
+        }
+        let res = self.write_line_inner(now, addr, plaintext, run);
+        if self.auto_quarantine {
+            if let Err(MemError::Integrity(IntegrityError::Tamper(t))) = &res {
+                self.quarantine.insert(t.addr.get());
+                self.quarantine.insert(addr.line().get());
+            }
+        }
+        res
+    }
+
+    fn write_line_inner(
         &mut self,
         now: Cycle,
         addr: PhysAddr,
@@ -651,10 +840,9 @@ impl MemoryController {
             self.obs.span("ctrl", "write_line", now.get(), t_end.get(), addr.get());
             return Ok(t_end);
         }
-        assert!(
-            self.meta.layout().is_data(line),
-            "{line:?} outside encrypted data region"
-        );
+        if !self.meta.layout().is_data(line) {
+            return Err(NvmError::OutsideDataRegion { addr: line.get() }.into());
+        }
         let page = line.page();
         let block = line.block_in_page();
 
@@ -1023,7 +1211,16 @@ impl MemoryController {
                         }
                         finds.push(f);
                     }
-                    None => report.unrecoverable += 1,
+                    None => {
+                        report.unrecoverable += 1;
+                        // No candidate explains the media bytes: the line
+                        // is lost. Under auto-quarantine it stays fenced
+                        // so later reads fail typed instead of returning
+                        // silent garbage.
+                        if self.auto_quarantine && self.quarantine.insert(line.get()) {
+                            report.quarantined += 1;
+                        }
+                    }
                 }
             }
 
@@ -1096,7 +1293,18 @@ impl MemoryController {
                 }
             }
         }
-        self.meta.rebuild(&mut self.nvm);
+        // Rebuild the Merkle tree over the repaired media. Quarantined
+        // metadata lines are *skipped* — zeroed rather than re-trusted —
+        // so bytes that already failed verification can never be
+        // laundered back into the tree by a rebuild.
+        self.meta.rebuild_skipping(&mut self.nvm, &self.quarantine);
+        // A skipped (zeroed) metadata leaf is now canonical, Merkle-
+        // covered zero; keeping it fenced would re-zero it on every
+        // future rebuild even as its counters legitimately evolve, so
+        // metadata entries leave the quarantine here. Data-line fences
+        // persist until a write heals them.
+        let data_bytes = self.meta.layout().data_bytes();
+        self.quarantine.retain(|&l| l < data_bytes);
         self.obs.incr("ctrl/recoveries");
         self.obs.add("ctrl/recover/clean", report.clean);
         self.obs.add("ctrl/recover/repaired", report.repaired);
@@ -1139,8 +1347,9 @@ impl MemoryController {
     ///
     /// # Errors
     ///
-    /// [`MemError::Tamper`] if the media does not hash to the envelope's
-    /// root — the module was modified in transit.
+    /// [`IntegrityError::Tamper`] (wrapped in [`MemError::Integrity`]) if
+    /// the media does not hash to the envelope's root — the module was
+    /// modified in transit.
     pub fn import_module(
         layout: MetadataLayout,
         cfg: &SecurityConfig,
@@ -1159,7 +1368,7 @@ impl MemoryController {
         ctrl.ecc = ecc;
         ctrl.meta.rebuild(&mut ctrl.nvm);
         if ctrl.meta.root() != envelope.root {
-            return Err(MemError::Tamper(TamperError {
+            return Err(MemError::from(TamperError {
                 addr: LineAddr::new(ctrl.meta.layout().meta_base()),
                 level: usize::MAX,
             }));

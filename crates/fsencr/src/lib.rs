@@ -50,6 +50,7 @@
 pub mod controller;
 pub mod machine;
 pub mod ott;
+pub mod plane;
 pub mod security;
 pub mod snapshot;
 pub mod spill;
@@ -57,8 +58,9 @@ pub mod tlb;
 pub mod trace;
 
 pub use controller::batch::RegionRun;
-pub use controller::{CtrlStats, MemError, MemoryController, ModuleEnvelope};
+pub use controller::{CtrlStats, IntegrityError, MemError, MemoryController, ModuleEnvelope};
 pub use machine::{Machine, MachineOpts, MapId, Preset, RunStats, SecurityMode};
+pub use plane::{FaultPlane, InspectPlane, ModuleFault, ModuleInspect};
 pub use snapshot::StatsSnapshot;
 pub use ott::{OpenTunnelTable, OttStats};
 pub use spill::OttSpill;

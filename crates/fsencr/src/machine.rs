@@ -354,17 +354,32 @@ pub struct TransferredModule {
 }
 
 impl TransferredModule {
+    /// Read-only media window — what the in-transit attacker sees
+    /// (ciphertext only).
+    pub fn inspect_plane(&self) -> crate::plane::ModuleInspect<'_> {
+        crate::plane::ModuleInspect::new(&self.nvm)
+    }
+
+    /// Fault surface of the travelling DIMM — the in-transit tampering
+    /// attacker. Import-time authentication against the envelope's root
+    /// digest is expected to catch anything done here.
+    pub fn fault_plane(&mut self) -> crate::plane::ModuleFault<'_> {
+        crate::plane::ModuleFault::new(&mut self.nvm)
+    }
+
     /// Reads a raw media line — what the in-transit attacker sees
     /// (ciphertext only).
+    #[deprecated(since = "0.1.0", note = "use `inspect_plane().media_line(addr)`")]
     pub fn peek_line(&self, addr: PhysAddr) -> [u8; LINE_BYTES] {
-        self.nvm.peek_line(addr)
+        self.inspect_plane().media_line(addr)
     }
 
     /// Overwrites a raw media line — the in-transit tampering attack.
     /// Import-time authentication against the envelope's root digest is
     /// expected to catch this.
+    #[deprecated(since = "0.1.0", note = "use `fault_plane().tamper_line(addr, data)`")]
     pub fn tamper_line(&mut self, addr: PhysAddr, data: &[u8; LINE_BYTES]) {
-        self.nvm.poke_line(addr, data);
+        self.fault_plane().tamper_line(addr, data);
     }
 }
 
@@ -507,11 +522,25 @@ impl Machine {
         &self.ctrl
     }
 
+    /// Read-only window onto media, wear, Merkle root, quarantine and
+    /// fault-injector state — the consolidated inspection surface.
+    pub fn inspect_plane(&self) -> crate::plane::InspectPlane<'_> {
+        crate::plane::InspectPlane::new(&self.ctrl)
+    }
+
+    /// The consolidated fault surface: raw tampering, deterministic
+    /// fault plans, power-cut control, quarantine knobs, and (as the
+    /// audited last resort) raw controller access.
+    pub fn fault_plane(&mut self) -> crate::plane::FaultPlane<'_> {
+        crate::plane::FaultPlane::new(&mut self.ctrl)
+    }
+
     /// Raw mutable controller access. Debug/attack surface only — normal
     /// experiments should use the purpose-built methods
-    /// ([`Machine::lock_file_engine`], [`Machine::tamper_line`],
-    /// [`Machine::crash`], ...), which keep the machine's own state
+    /// ([`Machine::lock_file_engine`], [`Machine::crash`], the fault
+    /// plane's `tamper_line`, ...), which keep the machine's own state
     /// consistent with the controller's.
+    #[deprecated(since = "0.1.0", note = "use `fault_plane().controller_mut()`")]
     pub fn debug_controller_mut(&mut self) -> &mut MemoryController {
         &mut self.ctrl
     }
@@ -538,18 +567,21 @@ impl Machine {
     }
 
     /// Reads a raw media line (ciphertext) — the physical-probe attacker.
+    #[deprecated(since = "0.1.0", note = "use `inspect_plane().media_line(addr)`")]
     pub fn peek_media_line(&self, addr: PhysAddr) -> [u8; LINE_BYTES] {
-        self.ctrl.nvm().peek_line(addr)
+        self.inspect_plane().media_line(addr)
     }
 
     /// Overwrites a raw media line behind the controller's back — the
     /// tampering attacker. Integrity verification is expected to catch
     /// the modification on the next covered read.
+    #[deprecated(since = "0.1.0", note = "use `fault_plane().tamper_line(addr, data)`")]
     pub fn tamper_line(&mut self, addr: PhysAddr, data: &[u8; LINE_BYTES]) {
-        self.ctrl.debug_nvm_mut().poke_line(addr, data);
+        self.fault_plane().tamper_line(addr, data);
     }
 
     /// Per-line write-wear telemetry from the device.
+    #[deprecated(since = "0.1.0", note = "use `inspect_plane().wear()`")]
     pub fn wear(&self) -> &fsencr_nvm::WearTracker {
         self.ctrl.nvm().wear()
     }
@@ -1316,6 +1348,13 @@ impl Machine {
         offset: u64,
         len: u64,
     ) -> Result<(), MachineError> {
+        // Persist barriers are the power-cut trigger points of the fault
+        // model: an armed injector counts them and may drop power here,
+        // before any of this barrier's write-backs reach the media. One
+        // branch when disarmed.
+        if let Some(inj) = self.ctrl.fault_injector_mut() {
+            inj.on_barrier();
+        }
         let m = self.mapping(map)?;
         if self.mode == SecurityMode::Software && m.fek.is_some() {
             // `clwb` on a page-cache mapping flushes the DRAM copy only —
@@ -1826,8 +1865,8 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// [`MemError::Tamper`] (wrapped) if the module was modified in
-    /// transit.
+    /// [`crate::IntegrityError::Tamper`] (wrapped in
+    /// [`MemError::Integrity`]) if the module was modified in transit.
     pub fn import_module(
         envelope: &ModuleEnvelope,
         module: TransferredModule,

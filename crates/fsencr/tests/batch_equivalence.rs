@@ -141,9 +141,9 @@ fn tamper_verdicts_are_identical() {
         let frame = m.fs().stat("enc").unwrap().page(0).unwrap();
         let meta_base = m.opts().general_bytes + m.opts().pmem_bytes;
         let fecb_addr = fsencr_nvm::PhysAddr::new(meta_base + frame.get() * 128 + 64);
-        let mut evil = m.peek_media_line(fecb_addr);
+        let mut evil = m.inspect_plane().media_line(fecb_addr);
         evil[4] ^= 0x01;
-        m.tamper_line(fecb_addr, &evil);
+        m.fault_plane().tamper_line(fecb_addr, &evil);
 
         let h = m
             .open(ALICE, &[STAFF], "enc", AccessKind::Read, Some("pw"))

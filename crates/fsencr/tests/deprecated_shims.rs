@@ -1,0 +1,111 @@
+//! The `#[deprecated]` escape-hatch shims must stay behaviourally
+//! identical to the consolidated planes for the one-PR migration window:
+//! code still on `peek_media_line`/`tamper_line`/`wear`/
+//! `debug_controller_mut` (and the `TransferredModule` twins) must see
+//! exactly what `inspect_plane()`/`fault_plane()` users see.
+
+#![allow(deprecated)]
+
+use fsencr::{Machine, MachineOpts, SecurityMode};
+use fsencr_fs::{AccessKind, GroupId, Mode, UserId};
+use fsencr_nvm::PhysAddr;
+
+const ALICE: UserId = UserId::new(1);
+const STAFF: GroupId = GroupId::new(1);
+
+fn machine_with_file() -> (Machine, PhysAddr) {
+    let mut m = Machine::new(MachineOpts::small_test(), SecurityMode::FsEncr);
+    let h = m.create(ALICE, STAFF, "shim", Mode::PRIVATE, Some("pw")).unwrap();
+    let map = m.mmap(&h).unwrap();
+    m.write(0, map, 0, b"shim equivalence probe").unwrap();
+    m.persist(0, map, 0, 22).unwrap();
+    let frame = m.fs().stat("shim").unwrap().page(0).unwrap();
+    let addr = PhysAddr::new(frame.get() * fsencr_nvm::PAGE_BYTES as u64);
+    (m, addr)
+}
+
+#[test]
+fn peek_media_line_matches_inspect_plane() {
+    let (m, addr) = machine_with_file();
+    assert_eq!(m.peek_media_line(addr), m.inspect_plane().media_line(addr));
+}
+
+#[test]
+fn tamper_line_matches_fault_plane() {
+    let (mut m, addr) = machine_with_file();
+    let original = m.inspect_plane().media_line(addr);
+
+    // Old accessor's tamper is visible through the new plane...
+    let mut evil = original;
+    evil[0] ^= 0xFF;
+    m.tamper_line(addr, &evil);
+    assert_eq!(m.inspect_plane().media_line(addr), evil);
+
+    // ...and the new plane's tamper is visible through the old peek.
+    m.fault_plane().tamper_line(addr, &original);
+    assert_eq!(m.peek_media_line(addr), original);
+}
+
+#[test]
+fn wear_matches_inspect_plane() {
+    let (m, _) = machine_with_file();
+    assert_eq!(
+        format!("{:?}", m.wear()),
+        format!("{:?}", m.inspect_plane().wear())
+    );
+}
+
+#[test]
+fn debug_controller_mut_is_the_planes_controller() {
+    let (mut m, _) = machine_with_file();
+    let via_shim = m.debug_controller_mut().merkle_root();
+    let via_plane = m.inspect_plane().merkle_root();
+    assert_eq!(via_shim, via_plane);
+}
+
+#[test]
+fn module_shims_match_module_planes() {
+    let (mut m, _) = machine_with_file();
+    m.shutdown_flush().unwrap();
+    let (_envelope, mut module) = m.export_module().unwrap();
+    let addr = PhysAddr::new(0);
+
+    assert_eq!(module.peek_line(addr), module.inspect_plane().media_line(addr));
+
+    let original = module.peek_line(addr);
+    let mut evil = original;
+    evil[7] ^= 0x80;
+    module.tamper_line(addr, &evil);
+    assert_eq!(module.inspect_plane().media_line(addr), evil);
+    module.fault_plane().tamper_line(addr, &original);
+    assert_eq!(module.peek_line(addr), original);
+}
+
+#[test]
+fn old_tamper_is_still_detected_like_the_new_one() {
+    // The shim must not just write the same bytes — the integrity tree
+    // must catch a shim-tampered FECB exactly as it catches a
+    // plane-tampered one.
+    let mut m = Machine::new(MachineOpts::small_test(), SecurityMode::FsEncr);
+    let h = m.create(ALICE, STAFF, "victim", Mode::PRIVATE, Some("pw")).unwrap();
+    let map = m.mmap(&h).unwrap();
+    m.write(0, map, 0, b"important").unwrap();
+    m.persist(0, map, 0, 9).unwrap();
+    m.shutdown_flush().unwrap();
+    m.crash();
+
+    let frame = m.fs().stat("victim").unwrap().page(0).unwrap();
+    let meta_base = m.opts().general_bytes + m.opts().pmem_bytes;
+    let fecb_addr = PhysAddr::new(meta_base + frame.get() * 128 + 64);
+    let mut evil = m.peek_media_line(fecb_addr);
+    evil[4] ^= 0x01;
+    m.tamper_line(fecb_addr, &evil);
+
+    let h = m
+        .open(ALICE, &[STAFF], "victim", AccessKind::Read, Some("pw"))
+        .unwrap();
+    let map = m.mmap(&h).unwrap();
+    let mut buf = [0u8; 9];
+    let err = m.read(0, map, 0, &mut buf).unwrap_err();
+    assert!(matches!(err, fsencr::machine::MachineError::Mem(_)), "{err}");
+}

@@ -191,9 +191,9 @@ fn media_tampering_is_detected_on_read() {
     let frame = m.fs().stat("t").unwrap().page(0).unwrap();
     let meta_base = m.opts().general_bytes + m.opts().pmem_bytes;
     let fecb_addr = fsencr_nvm::PhysAddr::new(meta_base + frame.get() * 128 + 64);
-    let mut evil = m.peek_media_line(fecb_addr);
+    let mut evil = m.inspect_plane().media_line(fecb_addr);
     evil[4] ^= 0x01;
-    m.tamper_line(fecb_addr, &evil);
+    m.fault_plane().tamper_line(fecb_addr, &evil);
 
     let h = m
         .open(ALICE, &[STAFF], "t", AccessKind::Read, Some("pw"))
@@ -249,7 +249,7 @@ fn boot_lockout_garbles_file_reads() {
     m.lock_file_engine();
     let line = fsencr_nvm::PhysAddr::new(frame.get() * PAGE_BYTES as u64);
     let t = m.elapsed();
-    let (garbled, _) = m.debug_controller_mut().read_line(t, line).unwrap();
+    let (garbled, _) = m.fault_plane().controller_mut().read_line(t, line).unwrap();
     assert_ne!(&garbled[..16], b"admin-only-data!", "lockout must hide plaintext");
 
     // Successful re-authentication restores access.

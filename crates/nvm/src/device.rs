@@ -1,8 +1,10 @@
 //! The assembled NVM device: contents plus timing plus statistics.
 
+use fsencr_faults::FaultInjector;
 use fsencr_sim::{config::NvmConfig, Counter, Cycle, StatSource};
 
 use crate::addr::{LineAddr, PhysAddr, LINE_BYTES};
+use crate::error::NvmError;
 use crate::storage::Storage;
 use crate::timing::{AccessKind, BankTiming};
 use crate::wear::WearTracker;
@@ -41,6 +43,10 @@ pub struct NvmDevice {
     stats: NvmStats,
     wear: WearTracker,
     capacity_bytes: u64,
+    /// Armed fault injector, if any. `None` (the default) costs exactly
+    /// one branch per timed line access; peeks and pokes bypass it so
+    /// recovery's media inspection and test plumbing stay undistorted.
+    faults: Option<Box<FaultInjector>>,
 }
 
 impl NvmDevice {
@@ -52,6 +58,7 @@ impl NvmDevice {
             stats: NvmStats::default(),
             wear: WearTracker::new(),
             capacity_bytes: cfg.capacity_bytes,
+            faults: None,
         }
     }
 
@@ -64,7 +71,11 @@ impl NvmDevice {
         let line = self.checked_line(addr);
         self.stats.reads.incr();
         let done = self.timing.access(now, line, AccessKind::Read);
-        (self.storage.read_line_hot(line), done)
+        let mut data = self.storage.read_line_hot(line);
+        if self.faults.is_some() {
+            self.faulted_read(line, &mut data);
+        }
+        (data, done)
     }
 
     /// Writes one line, returning the completion time.
@@ -77,8 +88,77 @@ impl NvmDevice {
         self.stats.writes.incr();
         self.wear.record(line);
         let done = self.timing.access(now, line, AccessKind::Write);
-        self.storage.write_line(line, data);
+        if self.faults.is_some() {
+            self.faulted_write(line, data);
+        } else {
+            self.storage.write_line(line, data);
+        }
         done
+    }
+
+    /// Slow path of [`NvmDevice::read_line`] with an injector armed:
+    /// applies planned bit-rot and persists the decayed bytes, so the
+    /// flip sticks exactly like retention loss on real media.
+    fn faulted_read(&mut self, line: LineAddr, data: &mut [u8; LINE_BYTES]) {
+        if let Some(inj) = self.faults.as_deref_mut() {
+            if inj.on_read(line.get(), data) {
+                self.storage.write_line(line, data);
+            }
+        }
+    }
+
+    /// Slow path of [`NvmDevice::write_line`] with an injector armed:
+    /// consults the injector for suppression (power lost, torn-region
+    /// tail) and registers newly worn stuck-at cells with the storage
+    /// overlay before storing. Timing, stats, and wear have already
+    /// accrued — the bus transaction happened either way.
+    fn faulted_write(&mut self, line: LineAddr, data: &[u8; LINE_BYTES]) {
+        let mut buf = *data;
+        let Some(inj) = self.faults.as_deref_mut() else {
+            return;
+        };
+        let outcome = inj.on_write(line.get(), &mut buf);
+        if let Some(mask) = outcome.stuck {
+            self.storage.stuck_cells_mut().add(line.get(), mask);
+        }
+        if !outcome.suppress {
+            self.storage.write_line(line, &buf);
+        }
+    }
+
+    /// Validates an address against the device capacity without touching
+    /// timing or statistics — the value-typed twin of the panicking
+    /// check inside [`NvmDevice::read_line`] / [`NvmDevice::write_line`].
+    pub fn check_addr(&self, addr: PhysAddr) -> Result<LineAddr, NvmError> {
+        let stripped = addr.strip_df().get();
+        if stripped < self.capacity_bytes {
+            Ok(addr.line())
+        } else {
+            Err(NvmError::OutOfRange {
+                addr: stripped,
+                capacity: self.capacity_bytes,
+            })
+        }
+    }
+
+    /// Arms (or, with `None`, disarms) a fault injector. Disarming also
+    /// heals the storage wear-out overlay, restoring a pristine device.
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        if injector.is_none() {
+            self.storage.set_stuck_cells(None);
+        }
+        self.faults = injector.map(Box::new);
+    }
+
+    /// The armed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_deref()
+    }
+
+    /// Mutable access to the armed fault injector, if any (region and
+    /// barrier hooks in the layers above report through this).
+    pub fn fault_injector_mut(&mut self) -> Option<&mut FaultInjector> {
+        self.faults.as_deref_mut()
     }
 
     fn checked_line(&self, addr: PhysAddr) -> LineAddr {
@@ -211,6 +291,77 @@ mod tests {
     fn capacity_is_enforced() {
         let mut nvm = device();
         nvm.read_line(Cycle::ZERO, PhysAddr::new(17 << 30));
+    }
+
+    #[test]
+    fn check_addr_is_the_typed_capacity_check() {
+        let nvm = device();
+        assert!(nvm.check_addr(PhysAddr::new(4096)).is_ok());
+        assert!(matches!(
+            nvm.check_addr(PhysAddr::new(17 << 30)),
+            Err(crate::NvmError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn armed_injector_applies_rot_and_suppression_but_not_peeks() {
+        use fsencr_faults::{FaultInjector, FaultPlan};
+        use fsencr_faults::plan::RotEvent;
+
+        let mut nvm = device();
+        let addr = PhysAddr::new(4096);
+        nvm.write_line(Cycle::ZERO, addr, &[0u8; LINE_BYTES]);
+
+        let mut plan = FaultPlan::empty();
+        plan.rot.push(RotEvent { read_index: 0, byte: 0, bit: 0 });
+        plan.cuts.push(0);
+        nvm.set_fault_injector(Some(FaultInjector::new(plan)));
+
+        // Peek bypasses the injector; the timed read decays the line...
+        assert_eq!(nvm.peek_line(addr), [0u8; LINE_BYTES]);
+        let (rotted, _) = nvm.read_line(Cycle::ZERO, addr);
+        assert_eq!(rotted[0], 1);
+        // ...and the decay is persistent on the media.
+        assert_eq!(nvm.peek_line(addr)[0], 1);
+
+        // Power cut at barrier 0: subsequent timed writes are dropped,
+        // but stats and wear still accrue.
+        let writes_before = nvm.stats().writes.get();
+        if let Some(inj) = nvm.fault_injector_mut() {
+            assert!(inj.on_barrier());
+        }
+        nvm.write_line(Cycle::ZERO, addr, &[0xffu8; LINE_BYTES]);
+        assert_eq!(nvm.peek_line(addr)[1], 0);
+        assert_eq!(nvm.stats().writes.get(), writes_before + 1);
+
+        // Disarming restores the plain datapath.
+        let events = nvm
+            .fault_injector_mut()
+            .map(|i| i.take_events())
+            .unwrap_or_default();
+        assert_eq!(events.len(), 2);
+        nvm.set_fault_injector(None);
+        nvm.write_line(Cycle::ZERO, addr, &[0xffu8; LINE_BYTES]);
+        assert_eq!(nvm.peek_line(addr), [0xffu8; LINE_BYTES]);
+    }
+
+    #[test]
+    fn stuck_cells_overlay_forces_bits_even_for_pokes() {
+        use fsencr_faults::StuckMask;
+
+        let mut nvm = device();
+        let addr = PhysAddr::new(8192);
+        nvm.storage_mut().stuck_cells_mut().add(
+            addr.line().get(),
+            StuckMask { byte: 3, bit: 0, value: true },
+        );
+        nvm.poke_line(addr, &[0u8; LINE_BYTES]);
+        assert_eq!(nvm.peek_line(addr)[3], 1);
+        nvm.write_line(Cycle::ZERO, addr, &[0u8; LINE_BYTES]);
+        assert_eq!(nvm.peek_line(addr)[3], 1);
+        nvm.storage_mut().set_stuck_cells(None);
+        nvm.poke_line(addr, &[0u8; LINE_BYTES]);
+        assert_eq!(nvm.peek_line(addr)[3], 0);
     }
 
     #[test]

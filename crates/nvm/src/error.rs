@@ -1,0 +1,45 @@
+//! Typed media-operation failures.
+//!
+//! The device's legacy `read_line`/`write_line` interface keeps its
+//! panicking capacity check (a wrong address in the simulator is a bug in
+//! the caller, and every existing call site relies on that contract).
+//! Layers that want *failure as a value* — the memory controller's
+//! datapath, which must degrade gracefully when a fault campaign steers
+//! traffic at a misbehaving device — validate addresses up front with
+//! [`crate::NvmDevice::check_addr`] and propagate [`NvmError`] instead.
+
+use std::fmt;
+
+/// A media operation that could not be performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NvmError {
+    /// The (DF-stripped) address lies beyond the device's capacity.
+    OutOfRange {
+        /// Offending byte address.
+        addr: u64,
+        /// Configured capacity in bytes.
+        capacity: u64,
+    },
+    /// The address is within the device but outside the region the
+    /// datapath is allowed to address (e.g. the encrypted-data window
+    /// configured by the encryption layer).
+    OutsideDataRegion {
+        /// Offending byte address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for NvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NvmError::OutOfRange { addr, capacity } => {
+                write!(f, "address {addr:#x} beyond device capacity {capacity:#x}")
+            }
+            NvmError::OutsideDataRegion { addr } => {
+                write!(f, "address {addr:#x} outside the addressable data region")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NvmError {}

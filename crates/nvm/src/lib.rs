@@ -35,12 +35,14 @@
 
 pub mod addr;
 pub mod device;
+pub mod error;
 pub mod storage;
 pub mod timing;
 pub mod wear;
 
 pub use addr::{LineAddr, PageId, PhysAddr, DF_BIT, LINE_BYTES, PAGE_BYTES};
 pub use device::{NvmDevice, NvmStats};
+pub use error::NvmError;
 pub use storage::Storage;
 pub use timing::{AccessKind, BankTiming};
 pub use wear::WearTracker;

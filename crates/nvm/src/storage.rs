@@ -15,6 +15,8 @@
 
 use std::collections::HashMap;
 
+use fsencr_faults::StuckCells;
+
 use crate::addr::{LineAddr, PageId, PhysAddr, LINE_BYTES, PAGE_BYTES};
 
 /// Sparse page-granular byte store.
@@ -37,6 +39,11 @@ pub struct Storage {
     /// frame lives in exactly one of the two places, so every accessor
     /// checks the memo before (or instead of) probing the map.
     last: Option<(u64, Box<[u8; PAGE_BYTES]>)>,
+    /// Wear-out overlay installed by the fault injector: stuck bits are
+    /// forced on every *line write* through the array — including raw
+    /// debug pokes — exactly like physically worn cells. `None` (the
+    /// default) costs a single branch per line write.
+    stuck: Option<Box<StuckCells>>,
 }
 
 impl Storage {
@@ -172,6 +179,33 @@ impl Storage {
         let offset = (pos % PAGE_BYTES as u64) as usize;
         let page = self.frame_mut(frame);
         page[offset..offset + LINE_BYTES].copy_from_slice(data);
+        if self.stuck.is_some() {
+            // Briefly lift the overlay out of `self` so the stuck masks
+            // can be applied to the memoized frame without aliasing it.
+            let stuck = self.stuck.take();
+            if let Some(cells) = &stuck {
+                let page = self.frame_mut(frame);
+                cells.apply(pos, &mut page[offset..offset + LINE_BYTES]);
+            }
+            self.stuck = stuck;
+        }
+    }
+
+    /// Installs (or clears) the wear-out overlay. Passing `None` heals
+    /// every stuck cell — used when the fault injector is disarmed.
+    pub fn set_stuck_cells(&mut self, cells: Option<StuckCells>) {
+        self.stuck = cells.map(Box::new);
+    }
+
+    /// The wear-out overlay, if one is installed.
+    pub fn stuck_cells(&self) -> Option<&StuckCells> {
+        self.stuck.as_deref()
+    }
+
+    /// Mutable wear-out overlay, installing an empty one on first use
+    /// (the fault injector registers newly worn cells through this).
+    pub fn stuck_cells_mut(&mut self) -> &mut StuckCells {
+        self.stuck.get_or_insert_with(Default::default)
     }
 
     /// Fills an entire page with `byte` (used by secure shredding).

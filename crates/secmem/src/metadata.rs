@@ -44,7 +44,7 @@
 //!   reusable scratch buffers owned by the system instead of per-call
 //!   `Vec`s (audited by the `hot-alloc` lint rule).
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -1104,10 +1104,26 @@ impl MetadataSystem {
     /// new root — the final step of post-crash recovery, after counters
     /// have been repaired via the ECC oracle.
     pub fn rebuild(&mut self, nvm: &mut NvmDevice) {
+        self.rebuild_skipping(nvm, &BTreeSet::new());
+    }
+
+    /// [`MetadataSystem::rebuild`] with a quarantine skip list: any leaf
+    /// line whose address is in `skip` is *reset to zero on media* and
+    /// folded in as the canonical zero leaf, instead of being hashed and
+    /// re-trusted. This is the graceful-degradation half of fault
+    /// recovery — bytes that already failed Merkle verification must not
+    /// be laundered back into the tree by the rebuild. Entries in `skip`
+    /// that are not metadata leaf addresses (e.g. quarantined data
+    /// lines) are simply ignored.
+    pub fn rebuild_skipping(&mut self, nvm: &mut NvmDevice, skip: &BTreeSet<u64>) {
         let leaves = self.layout.leaves().collect::<Vec<_>>();
         let mut digests: Vec<[u8; 8]> = leaves
             .iter()
             .map(|l| {
+                if !skip.is_empty() && skip.contains(&l.get()) {
+                    nvm.poke_line(l.into_phys(), &[0u8; LINE_BYTES]);
+                    return self.zero_leaf_digest;
+                }
                 let bytes = nvm.peek_line(l.into_phys());
                 if bytes == [0u8; LINE_BYTES] {
                     self.zero_leaf_digest

@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     m.lock_file_engine();
     let line = fsencr_nvm::PhysAddr::new(frame.get() * PAGE_BYTES as u64);
     let t = m.elapsed();
-    let (bytes, _) = m.debug_controller_mut().read_line(t, line)?;
+    let (bytes, _) = m.fault_plane().controller_mut().read_line(t, line)?;
     let visible = bytes.windows(SECRET.len().min(16)).any(|w| w == &SECRET[..16]);
     println!("  file engine locked; physical reads show plaintext: {visible}");
     assert!(!visible);
@@ -75,12 +75,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let frame = m.fs().stat("hr.doc").unwrap().page(0).unwrap();
     let meta_base = m.opts().general_bytes + m.opts().pmem_bytes;
     let mecb = fsencr_nvm::PhysAddr::new(meta_base + frame.get() * 128);
-    let mut evil = m.peek_media_line(mecb);
+    let mut evil = m.inspect_plane().media_line(mecb);
     evil[0] ^= 0xff;
-    m.tamper_line(mecb, &evil);
+    m.fault_plane().tamper_line(mecb, &evil);
     let t = m.elapsed();
     let line = fsencr_nvm::PhysAddr::new(frame.get() * PAGE_BYTES as u64);
-    match m.debug_controller_mut().read_line(t, line) {
+    match m.fault_plane().controller_mut().read_line(t, line) {
         Err(e) => println!("  Merkle tree says: {e}"),
         Ok(_) => unreachable!("tampering must be detected"),
     }

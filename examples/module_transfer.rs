@@ -49,9 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let meta_base = m3.opts().general_bytes + m3.opts().pmem_bytes;
     let (envelope, mut module) = m3.export_module()?;
     let addr = fsencr_nvm::PhysAddr::new(meta_base + frame.get() * 128);
-    let mut evil = module.peek_line(addr);
+    let mut evil = module.inspect_plane().media_line(addr);
     evil[0] ^= 1;
-    module.tamper_line(addr, &evil);
+    module.fault_plane().tamper_line(addr, &evil);
     match Machine::import_module(&envelope, module) {
         Err(e) => println!("tampered module rejected: {e}"),
         Ok(_) => unreachable!("tampering must be detected at import"),

@@ -5,47 +5,90 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+# Self-labeling wall-clock: every section announces itself via `begin`
+# and reports its own duration (plus the running total) via `finish`,
+# so a slow verify run says *which* section got slow without anyone
+# diffing timestamps.
 t_start=$(date +%s)
-elapsed() {
-    echo "    [verify wall-clock so far: $(( $(date +%s) - t_start ))s]"
+t_section=$t_start
+section_label=""
+begin() {
+    section_label="$1"
+    t_section=$(date +%s)
+    echo "==> $section_label"
+}
+finish() {
+    now=$(date +%s)
+    echo "    [section '$section_label' took $(( now - t_section ))s; total $(( now - t_start ))s]"
 }
 
-echo "==> cargo build --release"
+begin "cargo build --release"
 cargo build --release
+finish
 
-echo "==> cargo test -q --workspace"
+begin "cargo test -q --workspace"
 cargo test -q --workspace
+finish
 
-echo "==> batched-datapath equivalence: region ops vs legacy per-line path"
+begin "batched-datapath equivalence: region ops vs legacy per-line path"
 cargo test -q -p fsencr --test batch_equivalence
 cargo test -q -p fsencr-workloads --test batch_parity
+finish
 
-echo "==> security-oracle replay: figures + rekey + crash recovery under armed oracles"
-t_oracle=$(date +%s)
+begin "security-oracle replay: figures + rekey + crash recovery under armed oracles"
 cargo test -q -p fsencr-bench --test oracle_replay
-echo "    [oracle replay took $(( $(date +%s) - t_oracle ))s]"
-elapsed
+finish
 
-echo "==> cargo clippy --all-targets -- -D warnings"
+begin "deprecated-shim equivalence: old debug accessors vs inspect/fault planes"
+cargo test -q -p fsencr --test deprecated_shims
+finish
+
+begin "fault campaign properties: determinism across jobs/schedules, injector neutrality"
+cargo test -q -p fsencr-bench --test fault_campaign
+finish
+
+begin "cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
+finish
 
-echo "==> static analysis gate: cargo run -p analysis -- check"
+begin "static analysis gate: cargo run -p analysis -- check"
 cargo run --release -q -p analysis -- check
+finish
 
-echo "==> harness bench (small scale) + schema check"
+begin "harness bench (small scale) + schema check"
 bench_dir="$(mktemp -d)"
 (cd "$bench_dir" && "$OLDPWD/target/release/harness" bench 0.01)
 ./target/release/harness bench-check "$bench_dir/BENCH_harness.json"
 rm -rf "$bench_dir"
+finish
 
-echo "==> static analysis self-test: the gate must fail on the seeded-violation fixtures"
+begin "seeded fault campaign: byte-identical across --jobs, zero undetected corruption"
+faults_dir="$(mktemp -d)"
+./target/release/harness --jobs 1 faults --seed 42 --campaign "scenarios=4,ops=48" \
+    --out "$faults_dir/FAULTS_j1.json"
+./target/release/harness --jobs 4 faults --seed 42 --campaign "scenarios=4,ops=48" \
+    --out "$faults_dir/FAULTS_j4.json"
+if ! cmp -s "$faults_dir/FAULTS_j1.json" "$faults_dir/FAULTS_j4.json"; then
+    echo "FAIL: FAULTS report differs between --jobs 1 and --jobs 4" >&2
+    diff "$faults_dir/FAULTS_j1.json" "$faults_dir/FAULTS_j4.json" >&2 || true
+    exit 1
+fi
+if ! grep -q '"undetected_in_coverage": 0' "$faults_dir/FAULTS_j1.json"; then
+    echo "FAIL: campaign reported undetected in-coverage corruption" >&2
+    exit 1
+fi
+rm -rf "$faults_dir"
+finish
+
+begin "static analysis self-test: the gate must fail on the seeded-violation fixtures"
 if cargo run --release -q -p analysis -- lint --root crates/analysis/fixtures/violations >/tmp/fsencr_lint_fixture.out 2>&1; then
     echo "FAIL: source passes reported the seeded-violation fixture tree as clean" >&2
     exit 1
 fi
 # The fixture tree seeds violations in every guarded crate class,
-# including the observability crate; each must actually be reported.
-for seeded in "crates/bench/src/lib.rs" "crates/fsencr/src/lib.rs" "crates/obs/src/lib.rs" "crates/fsencr/src/batch.rs"; do
+# including the observability and fault-injection crates; each must
+# actually be reported.
+for seeded in "crates/bench/src/lib.rs" "crates/fsencr/src/lib.rs" "crates/obs/src/lib.rs" "crates/fsencr/src/batch.rs" "crates/faults/src/inject.rs"; do
     if ! grep -q "$seeded" /tmp/fsencr_lint_fixture.out; then
         echo "FAIL: lint did not flag seeded violations in $seeded" >&2
         exit 1
@@ -66,21 +109,23 @@ for rule in "plaintext-confinement" "confinement-reach" "pad-site"; do
         exit 1
     fi
 done
-elapsed
+finish
 
 # Optional deeper checkers: run when the toolchain supports them,
 # skip gracefully when it does not (offline container has no
 # miri/TSan components by default).
 if cargo miri --version >/dev/null 2>&1; then
-    echo "==> cargo miri test -p fsencr-bench pool (optional)"
+    begin "cargo miri test -p fsencr-bench pool (optional)"
     cargo miri test -p fsencr-bench pool
+    finish
 else
     echo "==> miri unavailable; skipping (optional)"
 fi
 if [ "${FSENCR_TSAN:-0}" = "1" ] && rustc --print target-list >/dev/null 2>&1; then
-    echo "==> ThreadSanitizer pass (FSENCR_TSAN=1)"
+    begin "ThreadSanitizer pass (FSENCR_TSAN=1)"
     RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -p fsencr-bench pool ||
         echo "    TSan pass failed or nightly unavailable; non-fatal (optional)"
+    finish
 else
     echo "==> ThreadSanitizer pass skipped (set FSENCR_TSAN=1 with a nightly toolchain to enable)"
 fi
