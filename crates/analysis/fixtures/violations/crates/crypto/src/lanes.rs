@@ -1,0 +1,20 @@
+//! Seeded-violation fixture: a fake four-lane digest helper that trips
+//! `hot-alloc` — the lane kernel works in fixed arrays; funnelling
+//! digests through a growable buffer re-introduces the allocation the
+//! interleaved path exists to avoid. Never compiled.
+
+pub fn digest_quads(lines: &[[u8; 64]]) -> Vec<[u8; 8]> {
+    let mut out = Vec::new();
+    for chunk in lines.chunks(4) {
+        out.push([chunk.len() as u8; 8]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_allocate() {
+        let quads: Vec<[u8; 8]> = Vec::new();
+    }
+}

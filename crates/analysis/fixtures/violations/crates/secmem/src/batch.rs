@@ -1,0 +1,24 @@
+//! Seeded-violation fixture: a fake batch planner that trips
+//! `hot-alloc` — the shared-ancestor planner runs once per region op
+//! and must reuse the table's scratch vectors, never allocate per
+//! window. Never compiled.
+//! A doc-comment Vec::new() here must NOT be flagged.
+
+pub fn plan_window(leaves: &[u64]) -> Vec<[u8; 64]> {
+    let mut pending = Vec::new();
+    let mut climbs: VecDeque<u64> = VecDeque::new();
+    for &leaf in leaves {
+        climbs.push_back(leaf);
+        pending.push([0u8; 64]);
+    }
+    let sized_is_fine = Vec::<[u8; 64]>::with_capacity(leaves.len());
+    pending
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_allocate() {
+        let scratch: Vec<u8> = Vec::new();
+    }
+}

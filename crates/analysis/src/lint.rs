@@ -48,9 +48,11 @@ const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 /// Files whose inner loops (verification chains, line digests, pad
 /// generation) must stay allocation-free: scratch lives in the owning
 /// struct and is reused across calls.
-const ALLOC_FREE_FILES: [&str; 7] = [
+const ALLOC_FREE_FILES: [&str; 9] = [
     "crates/secmem/src/metadata.rs",
+    "crates/secmem/src/batch.rs",
     "crates/crypto/src/sha256.rs",
+    "crates/crypto/src/lanes.rs",
     "crates/crypto/src/ctr.rs",
     "crates/crypto/src/schedule.rs",
     "crates/crypto/src/oracle.rs",
@@ -454,6 +456,14 @@ mod tests {
         let oracle = lint_file("crates/crypto/src/oracle.rs", src);
         assert_eq!(oracle.len(), 2, "{oracle:?}");
         assert!(oracle.iter().all(|f| f.rule == "hot-alloc"));
+        // The batch planner and the four-lane digest kernel sit inside
+        // every batched region op — their scratch is audited too.
+        let planner = lint_file("crates/secmem/src/batch.rs", src);
+        assert_eq!(planner.len(), 2, "{planner:?}");
+        assert!(planner.iter().all(|f| f.rule == "hot-alloc"));
+        let lanes = lint_file("crates/crypto/src/lanes.rs", src);
+        assert_eq!(lanes.len(), 2, "{lanes:?}");
+        assert!(lanes.iter().all(|f| f.rule == "hot-alloc"));
         // Sized allocations and cold reporting literals stay allowed.
         let fine = "fn f() { let v = Vec::with_capacity(16); let w = vec![1u8, 2]; }";
         assert!(lint_file("crates/secmem/src/metadata.rs", fine).is_empty());

@@ -41,12 +41,13 @@ fn fixtures_trip_every_rule() {
     // HashMap and Instant on two lines each — test modules exempt.
     assert_eq!(count("nondeterminism"), 13, "{}", render(&report.findings));
 
-    // crates/fsencr/src/batch.rs fixture: one bare `Vec::new()` and one
-    // bare `VecDeque::new()`; crates/faults/src/inject.rs fixture: one
-    // bare `Vec::new()` — sized allocations, doc comments and test
-    // modules exempt.
-    assert_eq!(count("hot-alloc"), 3, "{}", render(&report.findings));
-    assert_eq!(report.findings.len(), 26, "{}", render(&report.findings));
+    // crates/fsencr/src/batch.rs and crates/secmem/src/batch.rs
+    // fixtures: one bare `Vec::new()` and one bare `VecDeque::new()`
+    // each; crates/crypto/src/lanes.rs and crates/faults/src/inject.rs
+    // fixtures: one bare `Vec::new()` each — sized allocations, doc
+    // comments and test modules exempt.
+    assert_eq!(count("hot-alloc"), 6, "{}", render(&report.findings));
+    assert_eq!(report.findings.len(), 29, "{}", render(&report.findings));
     assert_eq!(report.suppressed, 0);
 
     // The observability crate is held to both bars: the obs fixture must

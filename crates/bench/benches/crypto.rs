@@ -6,8 +6,8 @@ use std::hint::black_box;
 
 use fsencr_crypto::ctr::{ctr_pads_n, line_pad, line_pad_with};
 use fsencr_crypto::{
-    digest8_line, hmac_sha256, pbkdf2_hmac_sha256, sha256, sha256_line, Aes128, Key128,
-    PadDomain, PadInput, ScheduleCache,
+    digest8_line, digest8_lines4, hmac_sha256, pbkdf2_hmac_sha256, sha256, sha256_line,
+    sha256_lines4, Aes128, Key128, PadDomain, PadInput, ScheduleCache,
 };
 
 fn bench_aes(c: &mut Criterion) {
@@ -93,5 +93,49 @@ fn bench_hash(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_aes, bench_pad, bench_hash);
+fn bench_lanes(c: &mut Criterion) {
+    // Four distinct mixed-bit lines so the lanes do realistic work.
+    let mut lines = [[0u8; 64]; 4];
+    for (i, line) in lines.iter_mut().enumerate() {
+        for (j, byte) in line.iter_mut().enumerate() {
+            *byte = (i as u8).wrapping_mul(67).wrapping_add((j as u8).wrapping_mul(13)).wrapping_add(5);
+        }
+    }
+    // The interleaved four-lane kernel against the same four digests via
+    // one-shot calls — the trade the batched climb planner rides.
+    c.bench_function("sha256_lines4_interleaved", |b| {
+        b.iter(|| {
+            let [l0, l1, l2, l3] = &lines;
+            sha256_lines4([black_box(l0), l1, l2, l3])
+        })
+    });
+    c.bench_function("sha256_line_x4_one_shot", |b| {
+        b.iter(|| {
+            [
+                sha256_line(black_box(&lines[0])),
+                sha256_line(&lines[1]),
+                sha256_line(&lines[2]),
+                sha256_line(&lines[3]),
+            ]
+        })
+    });
+    c.bench_function("digest8_lines4_interleaved", |b| {
+        b.iter(|| {
+            let [l0, l1, l2, l3] = &lines;
+            digest8_lines4([black_box(l0), l1, l2, l3])
+        })
+    });
+    c.bench_function("digest8_line_x4_one_shot", |b| {
+        b.iter(|| {
+            [
+                digest8_line(black_box(&lines[0])),
+                digest8_line(&lines[1]),
+                digest8_line(&lines[2]),
+                digest8_line(&lines[3]),
+            ]
+        })
+    });
+}
+
+criterion_group!(benches, bench_aes, bench_pad, bench_hash, bench_lanes);
 criterion_main!(benches);

@@ -7,7 +7,7 @@ use std::hint::black_box;
 use fsencr_cache::Hierarchy;
 use fsencr_nvm::{LineAddr, NvmDevice, PageId, PhysAddr};
 use fsencr_secmem::{MetadataLayout, MetadataSystem};
-use fsencr_sim::config::{CpuConfig, NvmConfig, SecurityConfig};
+use fsencr_sim::config::{CacheConfig, CpuConfig, NvmConfig, SecurityConfig};
 use fsencr_sim::Cycle;
 
 fn bench_nvm(c: &mut Criterion) {
@@ -79,5 +79,93 @@ fn bench_metadata(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_nvm, bench_hierarchy, bench_metadata);
+/// A metadata system with `pages` persisted MECB leaves and a metadata
+/// cache of `cache_lines` lines — small caches force per-line verify
+/// climbs to re-hash shared ancestors, which is exactly the redundancy
+/// the batched region ops remove.
+fn populated(pages: u64, cache_lines: usize) -> (MetadataSystem, NvmDevice, Vec<LineAddr>, Cycle) {
+    let layout = MetadataLayout::new(pages * 4096, 4096);
+    let mut cfg = SecurityConfig::default();
+    cfg.metadata_cache = CacheConfig {
+        size_bytes: cache_lines * 64,
+        ways: 8,
+        block_bytes: 64,
+        latency_cycles: 3,
+    };
+    let mut sys = MetadataSystem::new(layout, &cfg);
+    let mut nvm = NvmDevice::new(NvmConfig::default());
+    let mut t = Cycle::ZERO;
+    let addrs: Vec<LineAddr> =
+        (0..pages).map(|p| sys.layout().mecb_addr(PageId::new(p))).collect();
+    for (i, &addr) in addrs.iter().enumerate() {
+        t = sys
+            .write_block(&mut nvm, t, addr, [i as u8 + 1; 64])
+            .unwrap()
+            .done;
+    }
+    t = sys.flush(&mut nvm, t);
+    (sys, nvm, addrs, t)
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    // Region verify, batched (`verify_lines`: one shared-ancestor plan,
+    // four-lane hashing) against the equivalent chained `read_block`
+    // loop, from the same cold post-crash state each iteration.
+    for n in [1usize, 8, 64] {
+        c.bench_function(&format!("merkle_verify_batched_{n}"), |b| {
+            let (mut sys, mut nvm, addrs, _) = populated(64, 16);
+            b.iter(|| {
+                sys.crash();
+                sys.verify_lines(&mut nvm, Cycle::ZERO, black_box(&addrs[..n])).unwrap()
+            })
+        });
+        c.bench_function(&format!("merkle_verify_looped_{n}"), |b| {
+            let (mut sys, mut nvm, addrs, _) = populated(64, 16);
+            b.iter(|| {
+                sys.crash();
+                let mut t = Cycle::ZERO;
+                for &addr in black_box(&addrs[..n]) {
+                    t = sys.read_block(&mut nvm, t, addr).unwrap().1.done;
+                }
+                t
+            })
+        });
+    }
+    // Region persist of freshly dirtied leaves, batched
+    // (`persist_blocks`) against the per-line `persist_block` loop. The
+    // cache is large enough to hold the working set: the delta is the
+    // host-side hashing of the new leaf contents.
+    for n in [1usize, 8, 64] {
+        c.bench_function(&format!("merkle_persist_batched_{n}"), |b| {
+            let (mut sys, mut nvm, addrs, mut t) = populated(64, 256);
+            let mut v = 0u8;
+            b.iter(|| {
+                v = v.wrapping_add(1);
+                for (i, &addr) in addrs[..n].iter().enumerate() {
+                    let bytes = [v ^ (i as u8).wrapping_mul(3); 64];
+                    t = sys.write_block(&mut nvm, t, addr, bytes).unwrap().done;
+                }
+                t = sys.persist_blocks(&mut nvm, t, black_box(&addrs[..n])).unwrap();
+                t
+            })
+        });
+        c.bench_function(&format!("merkle_persist_looped_{n}"), |b| {
+            let (mut sys, mut nvm, addrs, mut t) = populated(64, 256);
+            let mut v = 0u8;
+            b.iter(|| {
+                v = v.wrapping_add(1);
+                for (i, &addr) in addrs[..n].iter().enumerate() {
+                    let bytes = [v ^ (i as u8).wrapping_mul(3); 64];
+                    t = sys.write_block(&mut nvm, t, addr, bytes).unwrap().done;
+                }
+                for &addr in black_box(&addrs[..n]) {
+                    t = sys.persist_block(&mut nvm, t, addr).unwrap();
+                }
+                t
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_nvm, bench_hierarchy, bench_metadata, bench_merkle);
 criterion_main!(benches);

@@ -43,10 +43,14 @@ use fsencr_bench as exp;
 use fsencr_bench::jsonio::Json;
 use fsencr::controller::{CtrlMode, MemoryController};
 use fsencr_bench::report::{
-    AesThroughput, BatchThroughput, BenchReport, DigestThroughput, MetaThroughput, PadThroughput,
+    AesThroughput, BatchThroughput, BenchReport, DigestThroughput, MerkleThroughput,
+    MetaThroughput, PadThroughput,
 };
-use fsencr_crypto::{ctr_pads_n, line_pad, line_pad_with, sha256, sha256_line, Aes128, Key128, PadDomain, PadInput};
-use fsencr_nvm::{NvmDevice, PageId, PhysAddr};
+use fsencr_crypto::{
+    ctr_pads_n, digest8_line, digest8_lines4, line_pad, line_pad_with, sha256, sha256_line,
+    Aes128, Key128, PadDomain, PadInput,
+};
+use fsencr_nvm::{LineAddr, NvmDevice, PageId, PhysAddr};
 use fsencr_secmem::{MetadataLayout, MetadataSystem};
 use fsencr_sim::config::{CacheConfig, NvmConfig, SecurityConfig};
 use fsencr_sim::{Cycle, MachineConfig};
@@ -426,6 +430,154 @@ fn batch_throughput() -> BatchThroughput {
     }
 }
 
+/// Measures the batched Merkle engine. The lane pair chains
+/// `digest8_lines4` against the same four digests via one-shot
+/// `digest8_line` calls. The verify pair replays a 64-line region from
+/// cold post-crash state — `verify_lines` (one shared-ancestor plan,
+/// four-lane hashing) against the equivalent chained `read_block` loop —
+/// timing only the verify itself, not the crash that re-colds the
+/// caches. The persist pair dirties the same 64 leaves with fresh
+/// content each round and times `persist_blocks` against the per-line
+/// `persist_block` loop, excluding the (identical) dirtying writes.
+fn merkle_throughput() -> MerkleThroughput {
+    let mut lines = [[0u8; 64]; 4];
+    for (i, line) in lines.iter_mut().enumerate() {
+        for (j, byte) in line.iter_mut().enumerate() {
+            *byte = (i as u8).wrapping_mul(67).wrapping_add((j as u8).wrapping_mul(13)).wrapping_add(5);
+        }
+    }
+    let lane_digests_per_sec = {
+        let mut lines = lines;
+        let rate = best_of_windows(|budget| {
+            let mut digests = 0u64;
+            let start = Instant::now();
+            while start.elapsed() < budget {
+                for _ in 0..256 {
+                    let [l0, l1, l2, l3] = &lines;
+                    let d = digest8_lines4([l0, l1, l2, l3]);
+                    // Chain the digests back in so the loop cannot be
+                    // elided.
+                    for (l, digest) in d.iter().enumerate() {
+                        lines[l][..8].copy_from_slice(digest);
+                    }
+                }
+                digests += 4 * 256;
+            }
+            digests as f64 / start.elapsed().as_secs_f64()
+        });
+        std::hint::black_box(lines);
+        rate
+    };
+    let oneshot_digests_per_sec = {
+        let mut lines = lines;
+        let rate = best_of_windows(|budget| {
+            let mut digests = 0u64;
+            let start = Instant::now();
+            while start.elapsed() < budget {
+                for _ in 0..256 {
+                    for line in &mut lines {
+                        let d = digest8_line(line);
+                        line[..8].copy_from_slice(&d);
+                    }
+                }
+                digests += 4 * 256;
+            }
+            digests as f64 / start.elapsed().as_secs_f64()
+        });
+        std::hint::black_box(lines);
+        rate
+    };
+
+    const REGION: u64 = 64;
+    // A populated tree: 64 persisted MECB leaves behind a deliberately
+    // small metadata cache, so cold per-line climbs re-hash shared
+    // ancestors — the redundancy the batch planner removes.
+    let build = |cache_lines: usize| -> (MetadataSystem, NvmDevice, Vec<LineAddr>, Cycle) {
+        let layout = MetadataLayout::new(REGION * 4096, 4096);
+        let mut cfg = SecurityConfig::default();
+        cfg.metadata_cache = CacheConfig {
+            size_bytes: cache_lines * 64,
+            ways: 8,
+            block_bytes: 64,
+            latency_cycles: 3,
+        };
+        let mut sys = MetadataSystem::new(layout, &cfg);
+        let mut nvm = NvmDevice::new(NvmConfig::default());
+        let mut t = Cycle::ZERO;
+        let addrs: Vec<LineAddr> =
+            (0..REGION).map(|p| sys.layout().mecb_addr(PageId::new(p))).collect();
+        for (i, &addr) in addrs.iter().enumerate() {
+            t = sys
+                .write_block(&mut nvm, t, addr, [i as u8 + 1; 64])
+                .expect("fresh tree verifies")
+                .done;
+        }
+        t = sys.flush(&mut nvm, t);
+        (sys, nvm, addrs, t)
+    };
+    let verifies_per_sec = |batched: bool| {
+        let (mut sys, mut nvm, addrs, _) = build(8);
+        best_of_windows(|budget| {
+            let mut lines = 0u64;
+            let mut spent = Duration::ZERO;
+            let start = Instant::now();
+            while start.elapsed() < budget {
+                sys.crash();
+                let timed = Instant::now();
+                if batched {
+                    sys.verify_lines(&mut nvm, Cycle::ZERO, &addrs).expect("tree verifies");
+                } else {
+                    let mut t = Cycle::ZERO;
+                    for &addr in &addrs {
+                        t = sys.read_block(&mut nvm, t, addr).expect("tree verifies").1.done;
+                    }
+                }
+                spent += timed.elapsed();
+                lines += REGION;
+            }
+            lines as f64 / spent.as_secs_f64()
+        })
+    };
+    let persists_per_sec = |batched: bool| {
+        let (mut sys, mut nvm, addrs, mut t) = build(256);
+        let mut v = 0u8;
+        best_of_windows(|budget| {
+            let mut lines = 0u64;
+            let mut spent = Duration::ZERO;
+            let start = Instant::now();
+            while start.elapsed() < budget {
+                v = v.wrapping_add(1);
+                for (i, &addr) in addrs.iter().enumerate() {
+                    let bytes = [v ^ (i as u8).wrapping_mul(3); 64];
+                    t = sys
+                        .write_block(&mut nvm, t, addr, bytes)
+                        .expect("cached line writes cleanly")
+                        .done;
+                }
+                let timed = Instant::now();
+                if batched {
+                    t = sys.persist_blocks(&mut nvm, t, &addrs).expect("persist verified lines");
+                } else {
+                    for &addr in &addrs {
+                        t = sys.persist_block(&mut nvm, t, addr).expect("persist verified line");
+                    }
+                }
+                spent += timed.elapsed();
+                lines += REGION;
+            }
+            lines as f64 / spent.as_secs_f64()
+        })
+    };
+    MerkleThroughput {
+        lane_digests_per_sec,
+        oneshot_digests_per_sec,
+        batched_verifies_per_sec: verifies_per_sec(true),
+        looped_verifies_per_sec: verifies_per_sec(false),
+        batched_persists_per_sec: persists_per_sec(true),
+        looped_persists_per_sec: persists_per_sec(false),
+    }
+}
+
 /// Times one full `fig8_9_10` pass at `scale` with a fixed worker count.
 fn timed_fig8(jobs: usize, scale: f64) -> Duration {
     exp::pool::set_jobs(jobs);
@@ -492,6 +644,26 @@ fn bench(scale: f64, jobs_flag: Option<usize>) {
         batch.looped_reads_per_sec,
         batch.read_speedup()
     );
+    eprintln!("[bench] batched Merkle-engine throughput (single thread)...");
+    let merkle = merkle_throughput();
+    eprintln!(
+        "[bench]   digest kernel: 4-lane {:.0} /s, one-shot {:.0} /s, speedup {:.2}x",
+        merkle.lane_digests_per_sec,
+        merkle.oneshot_digests_per_sec,
+        merkle.lanes_speedup()
+    );
+    eprintln!(
+        "[bench]   region verify: batched {:.0} ln/s, looped {:.0} ln/s, speedup {:.2}x",
+        merkle.batched_verifies_per_sec,
+        merkle.looped_verifies_per_sec,
+        merkle.verify_speedup()
+    );
+    eprintln!(
+        "[bench]   region persist: batched {:.0} ln/s, looped {:.0} ln/s, speedup {:.2}x",
+        merkle.batched_persists_per_sec,
+        merkle.looped_persists_per_sec,
+        merkle.persist_speedup()
+    );
     eprintln!("[bench] engine serial run (jobs=1, scale {scale})...");
     exp::report::take_cell_records();
     let serial_wall = timed_fig8(1, scale);
@@ -510,6 +682,7 @@ fn bench(scale: f64, jobs_flag: Option<usize>) {
         pad,
         meta,
         batch,
+        merkle,
         serial_wall,
         parallel_wall,
         cells,
@@ -537,7 +710,7 @@ fn bench_check(path: &str) {
         .unwrap_or_else(|e| fail(&format!("unreadable: {e}")));
     let json = Json::parse(&text).unwrap_or_else(|e| fail(&format!("invalid JSON: {e}")));
     match json.get("schema").and_then(Json::as_str) {
-        Some("fsencr-bench-harness/3") => {}
+        Some("fsencr-bench-harness/4") => {}
         other => fail(&format!("schema mismatch: {other:?}")),
     }
     for key in ["host_parallelism", "jobs", "scale"] {
@@ -569,6 +742,20 @@ fn bench_check(path: &str) {
                 "batched_reads_per_sec",
                 "looped_reads_per_sec",
                 "read_speedup",
+            ],
+        ),
+        (
+            "merkle",
+            &[
+                "lane_digests_per_sec",
+                "oneshot_digests_per_sec",
+                "lanes_speedup",
+                "batched_verifies_per_sec",
+                "looped_verifies_per_sec",
+                "verify_speedup",
+                "batched_persists_per_sec",
+                "looped_persists_per_sec",
+                "persist_speedup",
             ],
         ),
         ("engine", &["serial_wall_s", "parallel_wall_s", "speedup"]),

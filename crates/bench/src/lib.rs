@@ -18,7 +18,7 @@ pub mod cellcache;
 pub mod experiments;
 pub mod faultcamp;
 pub mod jsonio;
-pub mod pool;
+pub use fsencr_sim::pool;
 pub mod profile;
 pub mod report;
 pub mod shell;

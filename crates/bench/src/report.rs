@@ -10,7 +10,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": "fsencr-bench-harness/3",
+//!   "schema": "fsencr-bench-harness/4",
 //!   "host_parallelism": 4,
 //!   "jobs": 4,
 //!   "scale": 0.05,
@@ -44,6 +44,17 @@
 //!     "batched_reads_per_sec": 2.0e5,
 //!     "looped_reads_per_sec": 1.5e5,
 //!     "read_speedup": 1.33
+//!   },
+//!   "merkle": {
+//!     "lane_digests_per_sec": 1.6e7,
+//!     "oneshot_digests_per_sec": 8.0e6,
+//!     "lanes_speedup": 2.0,
+//!     "batched_verifies_per_sec": 4.0e5,
+//!     "looped_verifies_per_sec": 2.0e5,
+//!     "verify_speedup": 2.0,
+//!     "batched_persists_per_sec": 3.0e5,
+//!     "looped_persists_per_sec": 2.0e5,
+//!     "persist_speedup": 1.5
 //!   },
 //!   "engine": {
 //!     "serial_wall_s": 10.0,
@@ -249,6 +260,61 @@ impl BatchThroughput {
     }
 }
 
+/// Batched Merkle-engine microbenchmark: the three host-side wins of the
+/// shared-ancestor batch planner. The *lane* pair times the interleaved
+/// [`digest8_lines4`](fsencr_crypto::digest8_lines4) kernel against the
+/// same four digests via one-shot calls. The *verify* pair times a
+/// 64-line `MetadataSystem::verify_lines` region from cold post-crash
+/// state against the equivalent chained `read_block` loop — identical
+/// simulated cycles, but the loop re-hashes every shared ancestor per
+/// climb while the batch plans each once. The *persist* pair times
+/// `persist_blocks` over freshly dirtied leaves against the per-line
+/// `persist_block` loop.
+#[derive(Debug, Clone, Copy)]
+pub struct MerkleThroughput {
+    /// `digest8_lines4` digests per second (four lanes per call).
+    pub lane_digests_per_sec: f64,
+    /// The same digests via one-shot `digest8_line` calls, per second.
+    pub oneshot_digests_per_sec: f64,
+    /// `verify_lines` lines per second over cold 64-line regions.
+    pub batched_verifies_per_sec: f64,
+    /// Chained per-line `read_block` lines per second, same regions.
+    pub looped_verifies_per_sec: f64,
+    /// `persist_blocks` lines per second over dirty 64-line regions.
+    pub batched_persists_per_sec: f64,
+    /// Per-line `persist_block` lines per second, same regions.
+    pub looped_persists_per_sec: f64,
+}
+
+impl MerkleThroughput {
+    /// Four-lane over one-shot digest speedup.
+    pub fn lanes_speedup(&self) -> f64 {
+        if self.oneshot_digests_per_sec <= 0.0 {
+            0.0
+        } else {
+            self.lane_digests_per_sec / self.oneshot_digests_per_sec
+        }
+    }
+
+    /// Batched over per-line region-verify speedup.
+    pub fn verify_speedup(&self) -> f64 {
+        if self.looped_verifies_per_sec <= 0.0 {
+            0.0
+        } else {
+            self.batched_verifies_per_sec / self.looped_verifies_per_sec
+        }
+    }
+
+    /// Batched over per-line region-persist speedup.
+    pub fn persist_speedup(&self) -> f64 {
+        if self.looped_persists_per_sec <= 0.0 {
+            0.0
+        } else {
+            self.batched_persists_per_sec / self.looped_persists_per_sec
+        }
+    }
+}
+
 /// Everything `harness bench` measures.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -268,6 +334,8 @@ pub struct BenchReport {
     pub meta: MetaThroughput,
     /// Batched-datapath microbenchmark.
     pub batch: BatchThroughput,
+    /// Batched Merkle-engine microbenchmark.
+    pub merkle: MerkleThroughput,
     /// Wall-clock of the serial (`jobs = 1`) engine run.
     pub serial_wall: Duration,
     /// Wall-clock of the parallel engine run.
@@ -305,7 +373,7 @@ impl BenchReport {
             ));
         }
         format!(
-            "{{\n  \"schema\": \"fsencr-bench-harness/3\",\n  \"host_parallelism\": {},\n  \"jobs\": {},\n  \"scale\": {},\n  \"aes\": {{\n    \"ttable_blocks_per_sec\": {},\n    \"reference_blocks_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"digest\": {{\n    \"line_hashes_per_sec\": {},\n    \"streaming_hashes_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"pad\": {{\n    \"cached_pads_per_sec\": {},\n    \"uncached_pads_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"metadata\": {{\n    \"memo_digests_per_sec\": {},\n    \"rehash_digests_per_sec\": {},\n    \"speedup\": {},\n    \"memo_persists_per_sec\": {},\n    \"rehash_persists_per_sec\": {},\n    \"persist_speedup\": {}\n  }},\n  \"batch\": {{\n    \"quad_pads_per_sec\": {},\n    \"single_pads_per_sec\": {},\n    \"pad_speedup\": {},\n    \"batched_reads_per_sec\": {},\n    \"looped_reads_per_sec\": {},\n    \"read_speedup\": {}\n  }},\n  \"engine\": {{\n    \"serial_wall_s\": {},\n    \"parallel_wall_s\": {},\n    \"speedup\": {},\n    \"cells\": [\n{}\n    ]\n  }}\n}}\n",
+            "{{\n  \"schema\": \"fsencr-bench-harness/4\",\n  \"host_parallelism\": {},\n  \"jobs\": {},\n  \"scale\": {},\n  \"aes\": {{\n    \"ttable_blocks_per_sec\": {},\n    \"reference_blocks_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"digest\": {{\n    \"line_hashes_per_sec\": {},\n    \"streaming_hashes_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"pad\": {{\n    \"cached_pads_per_sec\": {},\n    \"uncached_pads_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"metadata\": {{\n    \"memo_digests_per_sec\": {},\n    \"rehash_digests_per_sec\": {},\n    \"speedup\": {},\n    \"memo_persists_per_sec\": {},\n    \"rehash_persists_per_sec\": {},\n    \"persist_speedup\": {}\n  }},\n  \"batch\": {{\n    \"quad_pads_per_sec\": {},\n    \"single_pads_per_sec\": {},\n    \"pad_speedup\": {},\n    \"batched_reads_per_sec\": {},\n    \"looped_reads_per_sec\": {},\n    \"read_speedup\": {}\n  }},\n  \"merkle\": {{\n    \"lane_digests_per_sec\": {},\n    \"oneshot_digests_per_sec\": {},\n    \"lanes_speedup\": {},\n    \"batched_verifies_per_sec\": {},\n    \"looped_verifies_per_sec\": {},\n    \"verify_speedup\": {},\n    \"batched_persists_per_sec\": {},\n    \"looped_persists_per_sec\": {},\n    \"persist_speedup\": {}\n  }},\n  \"engine\": {{\n    \"serial_wall_s\": {},\n    \"parallel_wall_s\": {},\n    \"speedup\": {},\n    \"cells\": [\n{}\n    ]\n  }}\n}}\n",
             self.host_parallelism,
             self.jobs,
             json_f64(self.scale),
@@ -330,6 +398,15 @@ impl BenchReport {
             json_f64(self.batch.batched_reads_per_sec),
             json_f64(self.batch.looped_reads_per_sec),
             json_f64(self.batch.read_speedup()),
+            json_f64(self.merkle.lane_digests_per_sec),
+            json_f64(self.merkle.oneshot_digests_per_sec),
+            json_f64(self.merkle.lanes_speedup()),
+            json_f64(self.merkle.batched_verifies_per_sec),
+            json_f64(self.merkle.looped_verifies_per_sec),
+            json_f64(self.merkle.verify_speedup()),
+            json_f64(self.merkle.batched_persists_per_sec),
+            json_f64(self.merkle.looped_persists_per_sec),
+            json_f64(self.merkle.persist_speedup()),
             json_f64(self.serial_wall.as_secs_f64()),
             json_f64(self.parallel_wall.as_secs_f64()),
             json_f64(self.engine_speedup()),
@@ -400,6 +477,14 @@ mod tests {
                 batched_reads_per_sec: 3.0e5,
                 looped_reads_per_sec: 1.5e5,
             },
+            merkle: MerkleThroughput {
+                lane_digests_per_sec: 1.6e7,
+                oneshot_digests_per_sec: 8.0e6,
+                batched_verifies_per_sec: 4.0e5,
+                looped_verifies_per_sec: 2.0e5,
+                batched_persists_per_sec: 3.0e5,
+                looped_persists_per_sec: 2.0e5,
+            },
             serial_wall: Duration::from_millis(900),
             parallel_wall: Duration::from_millis(300),
             cells: vec![CellRecord {
@@ -422,6 +507,9 @@ mod tests {
         assert!((r.meta.persist_speedup() - 1.25).abs() < 1e-9);
         assert!((r.batch.pad_speedup() - 2.0).abs() < 1e-9);
         assert!((r.batch.read_speedup() - 2.0).abs() < 1e-9);
+        assert!((r.merkle.lanes_speedup() - 2.0).abs() < 1e-9);
+        assert!((r.merkle.verify_speedup() - 2.0).abs() < 1e-9);
+        assert!((r.merkle.persist_speedup() - 1.5).abs() < 1e-9);
         assert!((r.engine_speedup() - 3.0).abs() < 1e-9);
         assert_eq!(r.cells[0].sim_lines_per_sec(), 2000.0);
     }
@@ -429,13 +517,16 @@ mod tests {
     #[test]
     fn json_is_well_formed_enough() {
         let json = sample_report().to_json();
-        assert!(json.contains("\"schema\": \"fsencr-bench-harness/3\""));
+        assert!(json.contains("\"schema\": \"fsencr-bench-harness/4\""));
         assert!(json.contains("\"line_hashes_per_sec\""));
         assert!(json.contains("\"cached_pads_per_sec\""));
         assert!(json.contains("\"memo_digests_per_sec\""));
         assert!(json.contains("\"memo_persists_per_sec\""));
         assert!(json.contains("\"quad_pads_per_sec\""));
         assert!(json.contains("\"batched_reads_per_sec\""));
+        assert!(json.contains("\"lane_digests_per_sec\""));
+        assert!(json.contains("\"batched_verifies_per_sec\""));
+        assert!(json.contains("\"batched_persists_per_sec\""));
         assert!(json.contains("\\\"zipf\\\""), "quotes must be escaped: {json}");
         assert!(json.contains("\"speedup\": 4.000000"));
         // Balanced braces/brackets (cheap sanity check without a parser).

@@ -37,6 +37,7 @@ pub mod aes;
 pub mod ctr;
 pub mod hmac;
 pub mod kdf;
+pub mod lanes;
 pub mod key;
 pub mod oracle;
 pub mod schedule;
@@ -49,4 +50,5 @@ pub use kdf::{pbkdf2_hmac_sha256, KeyWrap};
 pub use key::Key128;
 pub use oracle::{pads_enabled, set_pads_enabled, PadLedger, PadReuse};
 pub use schedule::ScheduleCache;
+pub use lanes::{digest8_lines4, sha256_lines4};
 pub use sha256::{digest8_line, sha256, sha256_line, Sha256};

@@ -12,11 +12,11 @@
 //! ring instead of a materialized 64-word array), and the padding block's
 //! entire `K[i] + w[i]` addend table is computed at compile time.
 
-const H0: [u32; 8] = [
+pub(crate) const H0: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
-const K: [u32; 64] = [
+pub(crate) const K: [u32; 64] = [
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
     0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
     0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
@@ -195,7 +195,7 @@ const LINE_PAD_SCHEDULE: [u32; 64] = schedule(&LINE_PAD_BLOCK);
 
 /// [`LINE_PAD_SCHEDULE`] with the round constants pre-added: the padding
 /// compression's `K[i] + w[i]` term is fully known at compile time.
-const LINE_PAD_KW: [u32; 64] = {
+pub(crate) const LINE_PAD_KW: [u32; 64] = {
     let mut kw = [0u32; 64];
     let mut i = 0;
     while i < 64 {

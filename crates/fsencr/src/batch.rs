@@ -21,7 +21,11 @@
 //!   byte compare — no invalidation protocol needed), and the expanded
 //!   AES schedule is held across lines while the resolved key is
 //!   unchanged instead of being re-fetched from the [`ScheduleCache`]
-//!   per pad.
+//!   per pad, and each region op opens one metadata *batch window*
+//!   (`MetadataSystem::begin_batch`) so the Merkle climbs of the
+//!   region's counter blocks hash every shared tree ancestor once —
+//!   four lines at a time through the interleaved SHA-256 kernel —
+//!   instead of once per line.
 //!
 //! The slice-form region ops ([`MemoryController::read_lines`],
 //! [`MemoryController::write_lines`], [`MemoryController::write_lines_at`])
@@ -31,11 +35,11 @@
 //! statistics, Merkle roots and tamper verdicts.
 
 use fsencr_crypto::{Aes128, Key128, ScheduleCache};
-use fsencr_nvm::{PageId, PhysAddr, LINE_BYTES};
+use fsencr_nvm::{LineAddr, PageId, PhysAddr, LINE_BYTES};
 use fsencr_secmem::{Fecb, Mecb};
 use fsencr_sim::Cycle;
 
-use super::{MemError, MemoryController};
+use super::{CtrlMode, MemError, MemoryController};
 
 /// Host-side parse/schedule memo for one region run.
 ///
@@ -159,6 +163,31 @@ pub(crate) enum Repad {
 }
 
 impl MemoryController {
+    /// Collects the covered metadata leaves a region over `addrs` will
+    /// touch — each page's MECB, plus the FECB for unlocked file pages —
+    /// so the metadata system can plan its shared-ancestor climbs once
+    /// for the whole region (see `begin_batch` in `fsencr-secmem`).
+    /// Pure address arithmetic: no simulated accesses, no cache effects.
+    fn region_meta_leaves<I>(&self, addrs: I, out: &mut Vec<LineAddr>)
+    where
+        I: Iterator<Item = PhysAddr>,
+    {
+        if self.mode == CtrlMode::Unencrypted {
+            return;
+        }
+        for addr in addrs {
+            let line = addr.line();
+            if !self.meta.layout().is_data(line) {
+                continue;
+            }
+            let page = line.page();
+            out.push(self.meta.layout().mecb_addr(page));
+            if self.file_pages.contains(&page.get()) && !self.locked {
+                out.push(self.meta.layout().fecb_addr(page));
+            }
+        }
+    }
+
     /// Chained region read: line `i` is issued at line `i - 1`'s
     /// completion (the first at `now`), exactly like a serial
     /// [`MemoryController::read_line`] loop. Plaintexts are appended to
@@ -178,14 +207,26 @@ impl MemoryController {
         addrs: &[PhysAddr],
         out: &mut Vec<[u8; LINE_BYTES]>,
     ) -> Result<Cycle, MemError> {
+        let mut leaves = Vec::with_capacity(addrs.len() * 2);
+        self.region_meta_leaves(addrs.iter().copied(), &mut leaves);
+        self.meta.begin_batch(&self.nvm, &leaves);
         let mut run = RegionRun::new();
         let mut t = now;
+        let mut res = Ok(());
         for &addr in addrs {
-            let (plain, done) = self.read_line_with(t, addr, &mut run)?;
-            out.push(plain);
-            t = done;
+            match self.read_line_with(t, addr, &mut run) {
+                Ok((plain, done)) => {
+                    out.push(plain);
+                    t = done;
+                }
+                Err(e) => {
+                    res = Err(e);
+                    break;
+                }
+            }
         }
-        Ok(t)
+        self.meta.end_batch();
+        res.map(|()| t)
     }
 
     /// Chained region write: write `i` is issued at write `i - 1`'s
@@ -207,6 +248,9 @@ impl MemoryController {
         if let Some(inj) = self.fault_injector_mut() {
             inj.begin_region(writes.len() as u64);
         }
+        let mut leaves = Vec::with_capacity(writes.len() * 2);
+        self.region_meta_leaves(writes.iter().map(|(a, _)| *a), &mut leaves);
+        self.meta.begin_batch(&self.nvm, &leaves);
         let mut run = RegionRun::new();
         let mut t = now;
         let mut res = Ok(t);
@@ -219,6 +263,7 @@ impl MemoryController {
                 }
             }
         }
+        self.meta.end_batch();
         if let Some(inj) = self.fault_injector_mut() {
             inj.end_region();
         }
@@ -243,6 +288,9 @@ impl MemoryController {
         if let Some(inj) = self.fault_injector_mut() {
             inj.begin_region(writes.len() as u64);
         }
+        let mut leaves = Vec::with_capacity(writes.len() * 2);
+        self.region_meta_leaves(writes.iter().map(|(a, _)| *a), &mut leaves);
+        self.meta.begin_batch(&self.nvm, &leaves);
         let mut run = RegionRun::new();
         let mut fence_at = now;
         let mut res = Ok(());
@@ -255,6 +303,7 @@ impl MemoryController {
                 }
             }
         }
+        self.meta.end_batch();
         if let Some(inj) = self.fault_injector_mut() {
             inj.end_region();
         }

@@ -367,20 +367,6 @@ impl TransferredModule {
         crate::plane::ModuleFault::new(&mut self.nvm)
     }
 
-    /// Reads a raw media line — what the in-transit attacker sees
-    /// (ciphertext only).
-    #[deprecated(since = "0.1.0", note = "use `inspect_plane().media_line(addr)`")]
-    pub fn peek_line(&self, addr: PhysAddr) -> [u8; LINE_BYTES] {
-        self.inspect_plane().media_line(addr)
-    }
-
-    /// Overwrites a raw media line — the in-transit tampering attack.
-    /// Import-time authentication against the envelope's root digest is
-    /// expected to catch this.
-    #[deprecated(since = "0.1.0", note = "use `fault_plane().tamper_line(addr, data)`")]
-    pub fn tamper_line(&mut self, addr: PhysAddr, data: &[u8; LINE_BYTES]) {
-        self.fault_plane().tamper_line(addr, data);
-    }
 }
 
 /// The simulated system: cores, caches, controller, NVM, filesystem.
@@ -535,16 +521,6 @@ impl Machine {
         crate::plane::FaultPlane::new(&mut self.ctrl)
     }
 
-    /// Raw mutable controller access. Debug/attack surface only — normal
-    /// experiments should use the purpose-built methods
-    /// ([`Machine::lock_file_engine`], [`Machine::crash`], the fault
-    /// plane's `tamper_line`, ...), which keep the machine's own state
-    /// consistent with the controller's.
-    #[deprecated(since = "0.1.0", note = "use `fault_plane().controller_mut()`")]
-    pub fn debug_controller_mut(&mut self) -> &mut MemoryController {
-        &mut self.ctrl
-    }
-
     /// Turns the runtime security oracles (pad-uniqueness ledger and
     /// Merkle-coverage walker) on or off for this machine. Both are off
     /// by default — benches pay one branch per pad/persist and figure
@@ -564,26 +540,6 @@ impl Machine {
     /// Re-arms the file engine after a [`Machine::lock_file_engine`].
     pub fn unlock_file_engine(&mut self) {
         self.ctrl.unlock_file_engine();
-    }
-
-    /// Reads a raw media line (ciphertext) — the physical-probe attacker.
-    #[deprecated(since = "0.1.0", note = "use `inspect_plane().media_line(addr)`")]
-    pub fn peek_media_line(&self, addr: PhysAddr) -> [u8; LINE_BYTES] {
-        self.inspect_plane().media_line(addr)
-    }
-
-    /// Overwrites a raw media line behind the controller's back — the
-    /// tampering attacker. Integrity verification is expected to catch
-    /// the modification on the next covered read.
-    #[deprecated(since = "0.1.0", note = "use `fault_plane().tamper_line(addr, data)`")]
-    pub fn tamper_line(&mut self, addr: PhysAddr, data: &[u8; LINE_BYTES]) {
-        self.fault_plane().tamper_line(addr, data);
-    }
-
-    /// Per-line write-wear telemetry from the device.
-    #[deprecated(since = "0.1.0", note = "use `inspect_plane().wear()`")]
-    pub fn wear(&self) -> &fsencr_nvm::WearTracker {
-        self.ctrl.nvm().wear()
     }
 
     /// The filesystem model.

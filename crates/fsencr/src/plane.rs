@@ -1,12 +1,10 @@
 //! The consolidated inspection / fault surface.
 //!
-//! Before this module, media inspection and attack plumbing were spread
-//! over ad-hoc escape hatches: `Machine::peek_media_line`,
-//! `Machine::tamper_line`, `Machine::wear`, `Machine::debug_controller_mut`
-//! and `TransferredModule::{peek_line, tamper_line}`. Each did one narrow
-//! thing and each had to be audited separately by the confinement pass.
-//!
-//! They are now fronted by two planes:
+//! Media inspection and attack plumbing used to be spread over ad-hoc
+//! per-accessor escape hatches on `Machine` and `TransferredModule`;
+//! each did one narrow thing and each had to be audited separately by
+//! the confinement pass. The deprecated shims are gone — these two
+//! planes are the only surface:
 //!
 //! * [`InspectPlane`] ([`Machine::inspect_plane`]) — read-only: raw media
 //!   lines, wear telemetry, the Merkle root, the quarantine set, the
@@ -179,8 +177,7 @@ impl<'a> FaultPlane<'a> {
         self.ctrl.quarantined_lines().collect()
     }
 
-    /// Raw mutable controller access — the consolidated successor of
-    /// `Machine::debug_controller_mut`. Debug/attack surface only.
+    /// Raw mutable controller access. Debug/attack surface only.
     pub fn controller_mut(&mut self) -> &mut MemoryController {
         self.ctrl
     }

@@ -94,6 +94,91 @@ proptest! {
     }
 
     #[test]
+    fn streams_with_flush_crash_rebuild_are_bit_identical(
+        ops in prop::collection::vec(
+            (0u8..10, any::<bool>(), 0u64..SPAN, 1usize..1024, any::<u8>()),
+            1..16,
+        )
+    ) {
+        // The PR 9 batched-integrity stream: interleaves region
+        // writes/reads/persists with full flushes, dirty crashes and
+        // (parallel) recovery rebuilds, asserting the batched machine is
+        // bit-identical to the per-line one at every step — including
+        // the post-rebuild Merkle roots and the final stats snapshot.
+        let (mut a, mut a_enc, mut a_plain) = build(true);
+        let (mut b, mut b_enc, mut b_plain) = build(false);
+        let reopen = |m: &mut Machine| -> (MapId, MapId) {
+            let enc = m.open(ALICE, &[STAFF], "enc", AccessKind::Write, Some("pw")).unwrap();
+            let plain = m.open(ALICE, &[STAFF], "plain", AccessKind::Write, None).unwrap();
+            (m.mmap(&enc).unwrap(), m.mmap(&plain).unwrap())
+        };
+        for (kind, enc, off, len, tag) in ops {
+            let (am, bm) = if enc { (a_enc, b_enc) } else { (a_plain, b_plain) };
+            let off = off.min(SPAN - 1);
+            let len = len.min((SPAN - off) as usize);
+            match kind {
+                0..=3 => {
+                    let data = vec![tag; len];
+                    let ra = a.write(0, am, off, &data);
+                    let rb = b.write(0, bm, off, &data);
+                    prop_assert_eq!(ra, rb);
+                }
+                4 | 5 => {
+                    let mut got_a = vec![0u8; len];
+                    let mut got_b = vec![0u8; len];
+                    let ra = a.read(0, am, off, &mut got_a);
+                    let rb = b.read(0, bm, off, &mut got_b);
+                    prop_assert_eq!(ra, rb);
+                    prop_assert_eq!(&got_a, &got_b);
+                }
+                6 => {
+                    let data = vec![tag; len];
+                    a.write(0, am, off, &data).unwrap();
+                    b.write(0, bm, off, &data).unwrap();
+                    a.persist(0, am, off, len as u64).unwrap();
+                    b.persist(0, bm, off, len as u64).unwrap();
+                }
+                7 => {
+                    a.msync(0, am, 0, SPAN).unwrap();
+                    b.msync(0, bm, 0, SPAN).unwrap();
+                }
+                8 => {
+                    // Clean restart: flush every dirty line, crash, rebuild.
+                    a.shutdown_flush().unwrap();
+                    b.shutdown_flush().unwrap();
+                    a.crash();
+                    b.crash();
+                    prop_assert_eq!(a.recover(), b.recover());
+                    prop_assert_eq!(a.merkle_root(), b.merkle_root());
+                    let (ae, ap) = reopen(&mut a);
+                    let (be, bp) = reopen(&mut b);
+                    a_enc = ae;
+                    a_plain = ap;
+                    b_enc = be;
+                    b_plain = bp;
+                }
+                _ => {
+                    // Dirty crash: unflushed metadata is lost; recovery
+                    // repairs counters and rebuilds the tree in parallel.
+                    a.crash();
+                    b.crash();
+                    prop_assert_eq!(a.recover(), b.recover());
+                    prop_assert_eq!(a.merkle_root(), b.merkle_root());
+                    let (ae, ap) = reopen(&mut a);
+                    let (be, bp) = reopen(&mut b);
+                    a_enc = ae;
+                    a_plain = ap;
+                    b_enc = be;
+                    b_plain = bp;
+                }
+            }
+            prop_assert_eq!(a.elapsed(), b.elapsed());
+        }
+        prop_assert_eq!(a.snapshot(), b.snapshot());
+        prop_assert_eq!(a.merkle_root(), b.merkle_root());
+    }
+
+    #[test]
     fn crash_and_rebuild_are_bit_identical(
         seeds in prop::collection::vec((0u64..SPAN, 1usize..1024, any::<u8>()), 1..8)
     ) {

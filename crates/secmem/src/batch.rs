@@ -1,0 +1,294 @@
+//! Batched Merkle climbs: plan a region's integrity work once, replay
+//! the per-line path unchanged.
+//!
+//! A region op (a 64-line page read, a multi-block persist) drives one
+//! [`MetadataSystem::read_block`]/`persist_block` call per line, and each
+//! call climbs the tree independently — re-hashing ancestors the
+//! previous line's climb just hashed. The climbs share most of their
+//! path: 64 data lines of one page touch at most two counter leaves per
+//! page plus a handful of tree nodes, and sibling leaves meet at their
+//! common parent one level up.
+//!
+//! [`MetadataSystem::begin_batch`] removes the redundancy without
+//! touching simulated behaviour. It walks the region's leaves in tree
+//! order using only side-effect-free peeks (`MetaCaches::peek`,
+//! `NvmDevice::peek_line` — no LRU recency, no hit/miss counters, no
+//! simulated time), visits each **shared ancestor once** per batch, and
+//! hashes the distinct contents four at a time with the interleaved
+//! [`digest8_lines4`] kernel into a *content-witnessed* digest table:
+//! each entry maps exact 64-byte content to the digest of exactly those
+//! bytes. A table hit is therefore sound for **any** presented bytes —
+//! trusted, untrusted, or tampered — because the digest provably belongs
+//! to the content used as the key; a fault-injected line simply misses
+//! the table and takes the one-shot hash. The legacy per-line loop then
+//! replays with every simulated access in the exact legacy order; only
+//! the host-side hashing is served from the table.
+//!
+//! The planner is dirty-generation and memo aware: content whose digest
+//! the [`DigestMemo`](super::DigestMemo) already witnesses is seeded
+//! into the table without re-hashing, and the canonical zero-node
+//! contents come straight from the precomputed per-level digests.
+//!
+//! `tests` in `metadata.rs` plus `crates/fsencr/tests/batch_equivalence.rs`
+//! prove the batched and per-line paths bit-identical in cycles,
+//! statistics, roots and tamper verdicts.
+
+use std::collections::{BTreeSet, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
+
+use fsencr_crypto::digest8_lines4;
+use fsencr_nvm::{LineAddr, NvmDevice, LINE_BYTES};
+use fsencr_sim::Cycle;
+
+use super::{digest8, IntoPhys, MetadataSystem, TamperError};
+
+/// Cheap hasher for the 64-byte content keys of the batch table: a
+/// multiply-mix over the line's eight words. Line contents are already
+/// high-entropy (counters, ciphertext, digest-packed tree nodes), and
+/// the table is probed on every `line_digest` call inside a batch
+/// window, so SipHash's per-probe cost would eat most of the hashing it
+/// saves. Crafted collisions cost planner throughput only — a probe
+/// compares the full key before trusting a hit, and a miss falls back
+/// to the one-shot hash — so this is not a DoS-hardening boundary.
+#[derive(Default)]
+struct LineKeyHasher(u64);
+
+impl Hasher for LineKeyHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut acc = self.0;
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            acc = (acc ^ u64::from_le_bytes(w)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+        self.0 = acc;
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        // The array key's length prefix; fold it in without a multiply.
+        self.0 = self.0.rotate_left(29) ^ n as u64;
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        let x = self.0;
+        (x ^ (x >> 32)).wrapping_mul(0xd6e8_feb8_6659_fd93)
+    }
+}
+
+type LineKeyMap = HashMap<[u8; LINE_BYTES], [u8; 8], BuildHasherDefault<LineKeyHasher>>;
+
+/// Content-witnessed digest table for one batch window, plus reusable
+/// planner scratch. Lives inside [`MetadataSystem`]; empty (one branch
+/// on probe) outside a batch window.
+#[derive(Debug, Clone)]
+pub(super) struct BatchTable {
+    /// Exact 64-byte content -> digest of exactly those bytes.
+    map: LineKeyMap,
+    /// Nesting depth of open batch windows; the table plans at depth 1
+    /// and clears when the outermost window closes.
+    depth: u32,
+    /// Planner invocations (host-side telemetry, never in `stat_rows`).
+    plans: u64,
+    /// Digests precomputed by planners (host-side telemetry).
+    seeded: u64,
+    /// Reusable `(leaf_index, addr)` scratch for the tree-order sort.
+    leaf_scratch: Vec<(u64, LineAddr)>,
+    /// Reusable scratch of contents awaiting a lane-batched hash.
+    pending_scratch: Vec<[u8; LINE_BYTES]>,
+}
+
+impl BatchTable {
+    pub(super) fn new() -> Self {
+        BatchTable {
+            map: LineKeyMap::default(),
+            depth: 0,
+            plans: 0,
+            seeded: 0,
+            leaf_scratch: Vec::with_capacity(0),
+            pending_scratch: Vec::with_capacity(0),
+        }
+    }
+
+    /// The digest of `bytes` if this batch window planned it. Sound for
+    /// any input: the key is the full content the digest was computed
+    /// from.
+    #[inline]
+    pub(super) fn probe(&self, bytes: &[u8; LINE_BYTES]) -> Option<[u8; 8]> {
+        if self.map.is_empty() {
+            return None;
+        }
+        self.map.get(bytes).copied()
+    }
+}
+
+impl MetadataSystem {
+    /// Opens a batch window over a region whose covered leaves are
+    /// `addrs`: plans every shared-ancestor climb once (peek-only — no
+    /// simulated side effects) so the per-line calls issued before the
+    /// matching [`MetadataSystem::end_batch`] serve their hashes from
+    /// the batch digest table. Windows nest; only the outermost plans.
+    ///
+    /// Single-leaf windows skip planning: there is nothing to share, and
+    /// the legacy path must not pay planner overhead for it.
+    pub fn begin_batch(&mut self, nvm: &NvmDevice, addrs: &[LineAddr]) {
+        self.batch.depth = self.batch.depth.saturating_add(1);
+        if self.batch.depth == 1 && addrs.len() >= 2 {
+            self.plan_batch(nvm, addrs);
+        }
+    }
+
+    /// Closes the innermost batch window; the digest table is dropped
+    /// when the outermost window closes.
+    pub fn end_batch(&mut self) {
+        self.batch.depth = self.batch.depth.saturating_sub(1);
+        if self.batch.depth == 0 && !self.batch.map.is_empty() {
+            self.batch.map.clear();
+        }
+    }
+
+    /// Host-side planner telemetry: `(plans, digests_seeded)` since
+    /// construction. Never part of [`StatSource`](fsencr_sim::StatSource)
+    /// rows — batched and legacy runs must stay bit-identical there.
+    pub fn batch_plan_stats(&self) -> (u64, u64) {
+        (self.batch.plans, self.batch.seeded)
+    }
+
+    /// Region variant of the verify path: reads (and on miss, verifies)
+    /// a run of covered lines in order, each issued at the previous
+    /// completion — exactly a chained [`MetadataSystem::read_block`]
+    /// loop, wrapped in one batch window so shared ancestors hash once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first verification failure; lines before it have
+    /// already been read and installed.
+    pub fn verify_lines(
+        &mut self,
+        nvm: &mut NvmDevice,
+        now: Cycle,
+        addrs: &[LineAddr],
+    ) -> Result<Cycle, TamperError> {
+        self.begin_batch(nvm, addrs);
+        let mut t = now;
+        for &addr in addrs {
+            match self.read_block(nvm, t, addr) {
+                Ok((_, acc)) => t = acc.done,
+                Err(e) => {
+                    self.end_batch();
+                    return Err(e);
+                }
+            }
+        }
+        self.end_batch();
+        Ok(t)
+    }
+
+    /// The peek-only pre-pass behind [`MetadataSystem::begin_batch`]:
+    /// sort the region's leaves by tree position, walk each path until
+    /// its first trusted (cached) ancestor, visit every shared ancestor
+    /// once, and fill the digest table — memo hits seeded for free,
+    /// canonical contents from the precomputed digests, everything else
+    /// hashed four lines at a time.
+    fn plan_batch(&mut self, nvm: &NvmDevice, addrs: &[LineAddr]) {
+        self.batch.plans += 1;
+        let layout = std::sync::Arc::clone(&self.layout);
+        // `clear` keeps the table's allocation across windows, so after
+        // the first region of a given size this reserve is free.
+        self.batch.map.reserve(2 * addrs.len() + self.canon_nodes.len());
+
+        // Canonical node contents: digests known since construction.
+        for (level, node) in self.canon_nodes.iter().enumerate() {
+            self.batch.map.insert(*node, self.canon_digests[level]);
+        }
+
+        let mut leaves = std::mem::take(&mut self.batch.leaf_scratch);
+        leaves.clear();
+        for &addr in addrs {
+            if layout.is_metadata(addr) {
+                leaves.push((layout.leaf_index(addr), addr));
+            }
+        }
+        leaves.sort_unstable_by_key(|&(leaf, _)| leaf);
+        leaves.dedup_by_key(|entry| entry.0);
+
+        let mut pending = std::mem::take(&mut self.batch.pending_scratch);
+        pending.clear();
+        let mut seen: BTreeSet<(usize, u64)> = BTreeSet::new();
+        for &(leaf, addr) in &leaves {
+            // The leaf content itself: what `verify_climb` hashes on a
+            // miss and `bump_parent` hashes on an unmemoized write-back.
+            let candidate = match self.cache.peek(self.kind_of(addr), addr) {
+                Some(cached) => {
+                    let cached = *cached;
+                    match self.memo.get(addr, &cached) {
+                        Some(d) => {
+                            // Already witnessed for these exact bytes.
+                            self.batch.map.insert(cached, d);
+                            None
+                        }
+                        None => Some(cached),
+                    }
+                }
+                None => Some(nvm.peek_line(addr.into_phys())),
+            };
+            if let Some(c) = candidate {
+                if c != [0u8; LINE_BYTES] && !self.batch.map.contains_key(&c) {
+                    pending.push(c);
+                }
+            }
+
+            for (level, node_idx, _slot) in layout.path_of_leaf(leaf) {
+                if !seen.insert((level, node_idx)) {
+                    // Shared ancestor: a previous leaf of this batch
+                    // already planned it (and everything above it).
+                    break;
+                }
+                let node_addr = layout.node_addr(level, node_idx);
+                if let Some(cached) = self.cache.peek(self.kind_of(node_addr), node_addr) {
+                    let cached = *cached;
+                    if let Some(d) = self.memo.get(node_addr, &cached) {
+                        self.batch.map.insert(cached, d);
+                    }
+                    // A trusted cached ancestor closes every climb
+                    // through it; levels above stay untouched.
+                    break;
+                }
+                let node = self.interpret_node(level, nvm.peek_line(node_addr.into_phys()));
+                if !self.batch.map.contains_key(&node) {
+                    pending.push(node);
+                }
+            }
+        }
+
+        // The push-time table probes above already filter contents the
+        // table knows; the rare duplicate that slips through (identical
+        // bytes pushed twice before either is hashed) just re-inserts
+        // the same digest under the same key.
+
+        let mut i = 0;
+        while i + 4 <= pending.len() {
+            let d = digest8_lines4([
+                &pending[i],
+                &pending[i + 1],
+                &pending[i + 2],
+                &pending[i + 3],
+            ]);
+            for (lane, digest) in d.iter().enumerate() {
+                self.batch.map.insert(pending[i + lane], *digest);
+            }
+            i += 4;
+        }
+        for content in &pending[i..] {
+            self.batch.map.insert(*content, digest8(content));
+        }
+        self.batch.seeded += pending.len() as u64;
+
+        leaves.clear();
+        pending.clear();
+        self.batch.leaf_scratch = leaves;
+        self.batch.pending_scratch = pending;
+    }
+}

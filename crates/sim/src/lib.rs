@@ -35,6 +35,7 @@
 pub mod clock;
 pub mod config;
 pub mod event;
+pub mod pool;
 pub mod resource;
 pub mod rng;
 pub mod stats;

@@ -1,7 +1,7 @@
 //! A scoped-thread pool for fanning out independent experiment cells.
 //!
 //! Every `(workload, security mode)` cell of a figure builds its own
-//! [`fsencr::machine::Machine`] and shares nothing with its neighbours, so
+//! machine instance and shares nothing with its neighbours, so
 //! the cells of one figure can run concurrently. [`run_tasks`] drains a
 //! task list with `jobs()` worker threads (`std::thread::scope`, no
 //! external dependencies) and returns the results **in submission order**,

@@ -35,12 +35,15 @@ cargo test -q -p fsencr --test batch_equivalence
 cargo test -q -p fsencr-workloads --test batch_parity
 finish
 
-begin "security-oracle replay: figures + rekey + crash recovery under armed oracles"
-cargo test -q -p fsencr-bench --test oracle_replay
+begin "batched Merkle engine: lane kernel cross-validation + region/rebuild equivalence"
+cargo test -q -p fsencr-crypto --lib lanes
+cargo test -q -p fsencr-secmem --lib batch
+cargo test -q -p fsencr-secmem --lib verify_lines
+cargo test -q -p fsencr-secmem --lib parallel_rebuild
 finish
 
-begin "deprecated-shim equivalence: old debug accessors vs inspect/fault planes"
-cargo test -q -p fsencr --test deprecated_shims
+begin "security-oracle replay: figures + rekey + crash recovery under armed oracles"
+cargo test -q -p fsencr-bench --test oracle_replay
 finish
 
 begin "fault campaign properties: determinism across jobs/schedules, injector neutrality"
@@ -88,7 +91,7 @@ fi
 # The fixture tree seeds violations in every guarded crate class,
 # including the observability and fault-injection crates; each must
 # actually be reported.
-for seeded in "crates/bench/src/lib.rs" "crates/fsencr/src/lib.rs" "crates/obs/src/lib.rs" "crates/fsencr/src/batch.rs" "crates/faults/src/inject.rs"; do
+for seeded in "crates/bench/src/lib.rs" "crates/fsencr/src/lib.rs" "crates/obs/src/lib.rs" "crates/fsencr/src/batch.rs" "crates/secmem/src/batch.rs" "crates/crypto/src/lanes.rs" "crates/faults/src/inject.rs"; do
     if ! grep -q "$seeded" /tmp/fsencr_lint_fixture.out; then
         echo "FAIL: lint did not flag seeded violations in $seeded" >&2
         exit 1
@@ -115,15 +118,15 @@ finish
 # skip gracefully when it does not (offline container has no
 # miri/TSan components by default).
 if cargo miri --version >/dev/null 2>&1; then
-    begin "cargo miri test -p fsencr-bench pool (optional)"
-    cargo miri test -p fsencr-bench pool
+    begin "cargo miri test -p fsencr-sim pool (optional)"
+    cargo miri test -p fsencr-sim pool
     finish
 else
     echo "==> miri unavailable; skipping (optional)"
 fi
 if [ "${FSENCR_TSAN:-0}" = "1" ] && rustc --print target-list >/dev/null 2>&1; then
     begin "ThreadSanitizer pass (FSENCR_TSAN=1)"
-    RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -p fsencr-bench pool ||
+    RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -p fsencr-sim pool ||
         echo "    TSan pass failed or nightly unavailable; non-fatal (optional)"
     finish
 else
