@@ -1,0 +1,25 @@
+//! Seeded-violation fixture: a fake snapshot-codec module that trips
+//! `no-panic` (a corrupt snapshot must surface as a typed `SnapError`
+//! and fall back to cold setup — an abort turns the warm-start
+//! accelerator into a dependency) and `hot-alloc` (encode/decode runs
+//! once per warm start over megabyte-scale payloads and must size its
+//! scratch up front). Never compiled.
+//! A doc-comment Vec::new() or bytes.unwrap() here must NOT be flagged.
+#![forbid(unsafe_code)]
+
+pub fn decode_section(bytes: Option<&[u8]>) -> Vec<u8> {
+    let payload = bytes.unwrap();
+    let mut out: Vec<u8> = Vec::new();
+    out.extend_from_slice(payload);
+    let sized_is_fine = Vec::<u8>::with_capacity(payload.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_allocate_and_panic() {
+        let scratch: Vec<u8> = Vec::new();
+        Some(1u32).unwrap();
+    }
+}

@@ -4,7 +4,8 @@
 //!
 //! * `no-panic` — `.unwrap()`, `.expect(…)` and `panic!(…)` are banned in
 //!   non-test code of the hot-path crates (`fsencr`, `secmem`, `crypto`,
-//!   `nvm`, `cache`, `obs`): the simulated datapath must degrade into
+//!   `nvm`, `cache`, `obs`, `faults`, `snapshot`): the simulated datapath
+//!   — and the snapshot codec a restore depends on — must degrade into
 //!   typed errors, not abort mid-figure.
 //! * `lossy-cast` — `as {u8,u16,u32,i8,i16,i32}` applied to a
 //!   counter/address-width source (an `…addr…`/`…cycle…` identifier or a
@@ -37,7 +38,8 @@ use crate::lexer::{lex, Token, TokenKind};
 use crate::Finding;
 
 /// Crates whose non-test code must be panic-free and cast-safe.
-const HOT_CRATES: [&str; 7] = ["fsencr", "secmem", "crypto", "nvm", "cache", "obs", "faults"];
+const HOT_CRATES: [&str; 8] =
+    ["fsencr", "secmem", "crypto", "nvm", "cache", "obs", "faults", "snapshot"];
 
 /// Crates whose output is figure bytes and must be deterministic.
 const FIGURE_CRATES: [&str; 3] = ["bench", "sim", "obs"];
@@ -48,7 +50,7 @@ const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 /// Files whose inner loops (verification chains, line digests, pad
 /// generation) must stay allocation-free: scratch lives in the owning
 /// struct and is reused across calls.
-const ALLOC_FREE_FILES: [&str; 9] = [
+const ALLOC_FREE_FILES: [&str; 10] = [
     "crates/secmem/src/metadata.rs",
     "crates/secmem/src/batch.rs",
     "crates/crypto/src/sha256.rs",
@@ -58,6 +60,7 @@ const ALLOC_FREE_FILES: [&str; 9] = [
     "crates/crypto/src/oracle.rs",
     "crates/fsencr/src/batch.rs",
     "crates/faults/src/inject.rs",
+    "crates/snapshot/src/lib.rs",
 ];
 
 pub use crate::allow::Allowlist;
@@ -407,6 +410,11 @@ mod tests {
         let findings = lint_file("crates/secmem/src/x.rs", src);
         assert_eq!(findings.len(), 3, "{findings:?}");
         assert!(findings.iter().all(|f| f.rule == "no-panic"));
+        // The snapshot codec sits under every warm start: a restore must
+        // fail as a typed `SnapError`, never abort the harness.
+        let snap = lint_file("crates/snapshot/src/codec.rs", src);
+        assert_eq!(snap.len(), 3, "{snap:?}");
+        assert!(snap.iter().all(|f| f.rule == "no-panic"));
     }
 
     #[test]
@@ -464,6 +472,13 @@ mod tests {
         let lanes = lint_file("crates/crypto/src/lanes.rs", src);
         assert_eq!(lanes.len(), 2, "{lanes:?}");
         assert!(lanes.iter().all(|f| f.rule == "hot-alloc"));
+        // Snapshot encode/decode runs once per warm start over
+        // megabyte-scale state: its scratch must be sized up front.
+        // (`lib.rs` is a crate root, so the bare source also trips
+        // `forbid-unsafe` — count the alloc rule alone.)
+        let snap = lint_file("crates/snapshot/src/lib.rs", src);
+        let snap_allocs = snap.iter().filter(|f| f.rule == "hot-alloc").count();
+        assert_eq!(snap_allocs, 2, "{snap:?}");
         // Sized allocations and cold reporting literals stay allowed.
         let fine = "fn f() { let v = Vec::with_capacity(16); let w = vec![1u8, 2]; }";
         assert!(lint_file("crates/secmem/src/metadata.rs", fine).is_empty());

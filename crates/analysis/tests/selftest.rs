@@ -30,10 +30,11 @@ fn fixtures_trip_every_rule() {
 
     // crates/fsencr fixture: missing forbid, unwrap, expect, panic!,
     // two lossy casts; crates/obs fixture: missing forbid, one unwrap,
-    // one lossy cast; crates/faults fixture: one unwrap — and nothing
-    // from #[cfg(test)] modules, doc comments or string literals.
+    // one lossy cast; crates/faults and crates/snapshot fixtures: one
+    // unwrap each — and nothing from #[cfg(test)] modules, doc comments
+    // or string literals.
     assert_eq!(count("forbid-unsafe"), 2, "{}", render(&report.findings));
-    assert_eq!(count("no-panic"), 5, "{}", render(&report.findings));
+    assert_eq!(count("no-panic"), 6, "{}", render(&report.findings));
     assert_eq!(count("lossy-cast"), 3, "{}", render(&report.findings));
 
     // crates/bench fixture: HashMap, HashSet, Instant, SystemTime on
@@ -43,11 +44,11 @@ fn fixtures_trip_every_rule() {
 
     // crates/fsencr/src/batch.rs and crates/secmem/src/batch.rs
     // fixtures: one bare `Vec::new()` and one bare `VecDeque::new()`
-    // each; crates/crypto/src/lanes.rs and crates/faults/src/inject.rs
-    // fixtures: one bare `Vec::new()` each — sized allocations, doc
-    // comments and test modules exempt.
-    assert_eq!(count("hot-alloc"), 6, "{}", render(&report.findings));
-    assert_eq!(report.findings.len(), 29, "{}", render(&report.findings));
+    // each; crates/crypto/src/lanes.rs, crates/faults/src/inject.rs and
+    // crates/snapshot/src/lib.rs fixtures: one bare `Vec::new()` each —
+    // sized allocations, doc comments and test modules exempt.
+    assert_eq!(count("hot-alloc"), 7, "{}", render(&report.findings));
+    assert_eq!(report.findings.len(), 31, "{}", render(&report.findings));
     assert_eq!(report.suppressed, 0);
 
     // The observability crate is held to both bars: the obs fixture must

@@ -19,6 +19,8 @@
 //!               -> stdout + PROFILE_<fig>.json + PROFILE_<fig>_trace.json
 //!   ablation-ott / ablation-osiris / ablation-direct / ablation-partition
 //!   all         everything above except bench (slow)
+//!   snapshot <save|load|info> [PATH]
+//!               save/restore/inspect an fsencr-snap/1 machine image
 //! ```
 //!
 //! `scale` in (0, 1] shrinks operation counts; default 1.0. Run with
@@ -32,8 +34,11 @@
 //! Figure subcommands memoize finished cells in `CACHE_cells.json`,
 //! keyed by a content hash of the full cell specification (config +
 //! workload parameters + crate version), so re-running an unchanged
-//! figure skips its simulations and prints byte-identical output.
-//! `--no-cache` disables the cache; deleting the file invalidates it.
+//! figure skips its simulations and prints byte-identical output. They
+//! also keep post-setup machine snapshots in `CACHE_snapshots/`, keyed
+//! by the setup-only parameter subset, so cells that miss the cell
+//! cache still warm-start past their setup phase. `--no-cache` disables
+//! both; deleting the files invalidates them.
 
 #![forbid(unsafe_code)]
 
@@ -42,9 +47,10 @@ use std::time::{Duration, Instant};
 use fsencr_bench as exp;
 use fsencr_bench::jsonio::Json;
 use fsencr::controller::{CtrlMode, MemoryController};
+use fsencr::machine::{Machine, MachineOpts, SecurityMode};
 use fsencr_bench::report::{
     AesThroughput, BatchThroughput, BenchReport, DigestThroughput, MerkleThroughput,
-    MetaThroughput, PadThroughput,
+    MetaThroughput, PadThroughput, SnapshotThroughput,
 };
 use fsencr_crypto::{
     ctr_pads_n, digest8_line, digest8_lines4, line_pad, line_pad_with, sha256, sha256_line,
@@ -57,7 +63,7 @@ use fsencr_sim::{Cycle, MachineConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness [--jobs N] [--no-cache] <fig3|fig8-10|fig11|fig12-14|fig15|table1|params|list|bench|bench-check|ablation-ott|ablation-osiris|ablation-direct|ablation-partition|all> [scale]\n       harness [--jobs N] profile <fig3|fig8-10|fig11|fig12-14> [scale]\n       harness [--jobs N] faults [--seed N] [--campaign SPEC] [--out PATH]\n\nFigure subcommands reuse cached cell results from CACHE_cells.json\n(content-addressed; output is byte-identical either way). `--no-cache`\ndisables the cache; deleting the file invalidates it.\n\n`faults` runs a deterministic fault-injection campaign and writes\nFAULTS_report.json (byte-identical at any --jobs count). SPEC is a\ncomma list like `scenarios=8,ops=64,bitrot=2,torn=1,cuts=1,stuck=1`;\nomitted knobs keep their defaults (`default` for all defaults)."
+        "usage: harness [--jobs N] [--no-cache] <fig3|fig8-10|fig11|fig12-14|fig15|table1|params|list|bench|bench-check|ablation-ott|ablation-osiris|ablation-direct|ablation-partition|all> [scale]\n       harness [--jobs N] profile <fig3|fig8-10|fig11|fig12-14> [scale]\n       harness [--jobs N] faults [--seed N] [--campaign SPEC] [--out PATH]\n       harness snapshot <save|load|info> [PATH] [--seed N] [--pages N] [--mode M]\n\nFigure subcommands reuse cached cell results from CACHE_cells.json and\npost-setup machine snapshots from CACHE_snapshots/ (both\ncontent-addressed; output is byte-identical either way). `--no-cache`\ndisables both; deleting the files invalidates them.\n\n`faults` runs a deterministic fault-injection campaign and writes\nFAULTS_report.json (byte-identical at any --jobs count). SPEC is a\ncomma list like `scenarios=8,ops=64,bitrot=2,torn=1,cuts=1,stuck=1`;\nomitted knobs keep their defaults (`default` for all defaults).\n\n`snapshot save` simulates the reference setup and writes its\nfsencr-snap/1 image (default MACHINE.snap); `load` restores it; `info`\nlists its digest-chained sections without restoring."
     );
     std::process::exit(2);
 }
@@ -578,6 +584,38 @@ fn merkle_throughput() -> MerkleThroughput {
     }
 }
 
+/// Measures the warm-start win: simulating a representative setup phase
+/// (a fully initialised and persisted 512 KiB encrypted file) against
+/// restoring the identical machine from its `fsencr-snap/1` image. Both
+/// sides take the best of several attempts; the restored machine is
+/// bit-identical (round-trip theorem), so the gap is pure saved
+/// simulation.
+fn snapshot_throughput() -> SnapshotThroughput {
+    let stream = exp::epochs::EpochStream { seed: 0x57AB, file_pages: 128, ops: 0 };
+    let opts = MachineOpts::small_test();
+    let mode = SecurityMode::FsEncr;
+    let mut cold = Duration::MAX;
+    let mut bytes = Vec::new();
+    for _ in 0..3 {
+        let t = Instant::now();
+        let (m, _) = stream.build(opts, mode).expect("snapshot bench setup");
+        cold = cold.min(t.elapsed());
+        bytes = m.save_snapshot().expect("no injector armed during setup");
+    }
+    let mut restore = Duration::MAX;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let m = Machine::restore_snapshot(opts, mode, &bytes).expect("snapshot restores");
+        restore = restore.min(t.elapsed());
+        std::hint::black_box(m.elapsed());
+    }
+    SnapshotThroughput {
+        cold_setup_wall: cold,
+        restore_wall: restore,
+        snapshot_bytes: bytes.len() as u64,
+    }
+}
+
 /// Times one full `fig8_9_10` pass at `scale` with a fixed worker count.
 fn timed_fig8(jobs: usize, scale: f64) -> Duration {
     exp::pool::set_jobs(jobs);
@@ -664,6 +702,15 @@ fn bench(scale: f64, jobs_flag: Option<usize>) {
         merkle.looped_persists_per_sec,
         merkle.persist_speedup()
     );
+    eprintln!("[bench] snapshot restore vs cold setup...");
+    let snap = snapshot_throughput();
+    eprintln!(
+        "[bench]   cold setup {:.2?}, restore {:.2?}, speedup {:.2}x ({} snapshot bytes)",
+        snap.cold_setup_wall,
+        snap.restore_wall,
+        snap.speedup(),
+        snap.snapshot_bytes
+    );
     eprintln!("[bench] engine serial run (jobs=1, scale {scale})...");
     exp::report::take_cell_records();
     let serial_wall = timed_fig8(1, scale);
@@ -683,6 +730,7 @@ fn bench(scale: f64, jobs_flag: Option<usize>) {
         meta,
         batch,
         merkle,
+        snap,
         serial_wall,
         parallel_wall,
         cells,
@@ -710,7 +758,7 @@ fn bench_check(path: &str) {
         .unwrap_or_else(|e| fail(&format!("unreadable: {e}")));
     let json = Json::parse(&text).unwrap_or_else(|e| fail(&format!("invalid JSON: {e}")));
     match json.get("schema").and_then(Json::as_str) {
-        Some("fsencr-bench-harness/4") => {}
+        Some("fsencr-bench-harness/5") => {}
         other => fail(&format!("schema mismatch: {other:?}")),
     }
     for key in ["host_parallelism", "jobs", "scale"] {
@@ -757,6 +805,10 @@ fn bench_check(path: &str) {
                 "looped_persists_per_sec",
                 "persist_speedup",
             ],
+        ),
+        (
+            "snapshot",
+            &["cold_setup_wall_s", "restore_wall_s", "speedup", "snapshot_bytes"],
         ),
         ("engine", &["serial_wall_s", "parallel_wall_s", "speedup"]),
     ];
@@ -845,6 +897,128 @@ fn faults(args: &[String]) {
     }
 }
 
+/// Parses a `--mode` operand; accepts the `Display` names plus common
+/// shorthands.
+fn parse_mode(s: &str) -> SecurityMode {
+    match s {
+        "ext4-dax" | "unencrypted" => SecurityMode::Unencrypted,
+        "baseline-security" | "memory-only" => SecurityMode::MemoryOnly,
+        "fsencr" => SecurityMode::FsEncr,
+        "software-encryption" | "software" => SecurityMode::Software,
+        _ => usage(),
+    }
+}
+
+/// `harness snapshot <save|load|info> [PATH]`: the snapshot subsystem's
+/// CLI. `save` simulates the reference setup (a fully initialised,
+/// persisted encrypted file) and writes its post-setup `fsencr-snap/1`
+/// image; `load` restores the image and reports the machine it rebuilt;
+/// `info` walks the stream's digest-chained sections without restoring
+/// anything.
+fn snapshot_cmd(args: &[String]) {
+    let Some(verb) = args.first() else { usage() };
+    let verb = verb.as_str();
+    let path = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .map_or("MACHINE.snap", String::as_str);
+    let flags = if args.get(1).is_some_and(|a| !a.starts_with("--")) { &args[2..] } else { &args[1..] };
+    let mut seed: u64 = 0x57AB;
+    let mut pages: u64 = 128;
+    let mut mode = SecurityMode::FsEncr;
+    let mut i = 0;
+    while i < flags.len() {
+        let arg = flags[i].as_str();
+        let mut take = |key: &str| -> Option<String> {
+            if arg == key {
+                let v = flags.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+                Some(v)
+            } else if let Some(v) = arg.strip_prefix(&format!("{key}=")) {
+                i += 1;
+                Some(v.to_string())
+            } else {
+                None
+            }
+        };
+        if let Some(v) = take("--seed") {
+            seed = v.parse().unwrap_or_else(|_| usage());
+        } else if let Some(v) = take("--pages") {
+            pages = v.parse().unwrap_or_else(|_| usage());
+        } else if let Some(v) = take("--mode") {
+            mode = parse_mode(&v);
+        } else {
+            usage();
+        }
+    }
+    let opts = MachineOpts::small_test();
+    match verb {
+        "save" => {
+            let stream = exp::epochs::EpochStream { seed, file_pages: pages, ops: 0 };
+            let t0 = Instant::now();
+            let (m, _) = stream.build(opts, mode).unwrap_or_else(|e| {
+                eprintln!("[snapshot] setup failed: {e}");
+                std::process::exit(1);
+            });
+            let setup = t0.elapsed();
+            let bytes = m.save_snapshot().unwrap_or_else(|e| {
+                eprintln!("[snapshot] save refused: {e}");
+                std::process::exit(1);
+            });
+            std::fs::write(path, &bytes).unwrap_or_else(|e| {
+                eprintln!("[snapshot] write {path}: {e}");
+                std::process::exit(1);
+            });
+            let sections = fsencr_snapshot::describe(&bytes).map_or(0, |s| s.len());
+            eprintln!(
+                "[snapshot] wrote {path}: {} bytes, {sections} sections (setup {setup:.2?}, \
+                 seed {seed}, {pages} pages, mode {mode})",
+                bytes.len()
+            );
+        }
+        "load" => {
+            let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("[snapshot] read {path}: {e}");
+                std::process::exit(1);
+            });
+            let t0 = Instant::now();
+            let m = Machine::restore_snapshot(opts, mode, &bytes).unwrap_or_else(|e| {
+                eprintln!("[snapshot] {path}: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "[snapshot] {path}: restored in {:.2?} ({} bytes, machine at cycle {}, mode {mode})",
+                t0.elapsed(),
+                bytes.len(),
+                m.elapsed()
+            );
+        }
+        "info" => {
+            let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("[snapshot] read {path}: {e}");
+                std::process::exit(1);
+            });
+            match fsencr_snapshot::describe(&bytes) {
+                Ok(sections) => {
+                    println!(
+                        "{path}: fsencr-snap/1, {} bytes, {} sections",
+                        bytes.len(),
+                        sections.len()
+                    );
+                    for s in &sections {
+                        println!("  {:<24} {:>12} B  digest {:016x}", s.name, s.payload_len, s.digest);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("[snapshot] {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}
+
 /// `harness profile <fig>`: re-runs the figure's cells with the machine
 /// observer enabled and emits the per-cell cycle-attribution breakdown,
 /// plus JSON and chrome-trace exports next to the working directory.
@@ -915,6 +1089,10 @@ fn main() {
         eprintln!("[harness] completed in {:.1?}", t0.elapsed());
         return;
     }
+    if which == "snapshot" {
+        snapshot_cmd(&args[1..]);
+        return;
+    }
     let scale_arg: Option<f64> = args.get(1).map(|s| s.parse().unwrap_or_else(|_| usage()));
     let scale = scale_arg.unwrap_or(1.0);
     assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
@@ -932,6 +1110,7 @@ fn main() {
     let use_cache = cacheable && !no_cache;
     if use_cache {
         exp::cellcache::configure(Some(std::path::PathBuf::from("CACHE_cells.json")));
+        exp::snapstore::configure(Some(std::path::PathBuf::from("CACHE_snapshots")));
     }
 
     let t0 = std::time::Instant::now();
@@ -989,6 +1168,11 @@ fn main() {
             exp::cellcache::len()
         );
         exp::cellcache::configure(None);
+        let (shits, smisses, sstores) = exp::snapstore::counters();
+        eprintln!(
+            "[snapstore] {shits} warm starts, {smisses} cold setups, {sstores} snapshots stored"
+        );
+        exp::snapstore::configure(None);
     }
     eprintln!("[harness] completed in {:.1?}", t0.elapsed());
 }

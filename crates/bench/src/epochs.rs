@@ -1,0 +1,268 @@
+//! Epoch replay: checkpoint/replay parallelism inside one simulation.
+//!
+//! A cell is one long, strictly sequential op stream — the natural unit
+//! of parallelism in the harness is *between* cells. Epoch replay opens
+//! a second axis: a sequential checkpoint pass snapshots the machine at
+//! fixed op-stream boundaries (cheap relative to instrumented replay,
+//! and reusable across invocations), after which each epoch can be
+//! replayed *independently* on the worker pool — every replay restores
+//! its epoch's snapshot, runs exactly its op slice, and yields the
+//! counter delta for its window. Because the snapshot is full-fidelity
+//! (see the `snapshot_roundtrip` suite), epoch `e`'s replay ends in
+//! precisely the state epoch `e+1` starts from, so the per-epoch
+//! [`StatsSnapshot`] deltas telescope: merged in any order they equal
+//! the single sequential measurement *exactly* — same cycles, same
+//! counters, same latency histogram — at any worker count and under any
+//! [`pool`] scheduling policy.
+//!
+//! Ops are derived statelessly from `(seed, op index)`, so an epoch's
+//! slice can be regenerated without replaying its predecessors.
+
+use fsencr::machine::{Machine, MachineError, MachineOpts, MapId, SecurityMode};
+use fsencr::snapshot::StatsSnapshot;
+use fsencr_fs::{GroupId, Mode, UserId};
+use fsencr_sim::SplitMix64;
+
+use crate::pool;
+
+/// The file the stream drives, created by [`EpochStream::build`].
+const FILE_NAME: &str = "epochs.bin";
+const PAGE: u64 = 4096;
+
+/// A deterministic op stream over one mapped file, partitionable at any
+/// op boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStream {
+    /// Stream seed; distinct seeds give unrelated streams.
+    pub seed: u64,
+    /// File size in pages (fully initialised during setup).
+    pub file_pages: u64,
+    /// Total operations in the stream.
+    pub ops: usize,
+}
+
+impl EpochStream {
+    /// Builds the machine the stream runs on: file created, mapped, and
+    /// every page initialised and persisted.
+    ///
+    /// # Errors
+    ///
+    /// Machine failures.
+    pub fn build(
+        &self,
+        opts: MachineOpts,
+        mode: SecurityMode,
+    ) -> Result<(Machine, MapId), MachineError> {
+        let mut m = Machine::new(opts, mode);
+        let h = m.create(UserId::new(1), GroupId::new(1), FILE_NAME, Mode::PRIVATE, Some("pw"))?;
+        let map = m.mmap(&h)?;
+        let mut rng = SplitMix64::new(self.seed ^ 0xEF0C);
+        let mut page = vec![0u8; PAGE as usize];
+        for p in 0..self.file_pages {
+            for b in page.iter_mut() {
+                *b = rng.next_u64() as u8;
+            }
+            m.write(0, map, p * PAGE, &page)?;
+            m.persist(0, map, p * PAGE, PAGE)?;
+        }
+        Ok((m, map))
+    }
+
+    /// Applies op `index` of the stream. Stateless: the op depends only
+    /// on `(seed, index)`, never on which ops ran before it.
+    ///
+    /// # Errors
+    ///
+    /// Machine failures.
+    pub fn apply(&self, m: &mut Machine, map: MapId, index: usize) -> Result<(), MachineError> {
+        let span = self.file_pages * PAGE;
+        let mut rng = SplitMix64::new(
+            self.seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let off = rng.next_below(span - 256);
+        let len = (1 + rng.next_below(256)) as usize;
+        match rng.next_below(8) {
+            0..=2 => {
+                let mut buf = vec![0u8; len];
+                m.read(0, map, off, &mut buf)
+            }
+            3..=5 => m.write(0, map, off, &vec![index as u8; len]),
+            6 => {
+                m.write(0, map, off, &vec![!(index as u8); len])?;
+                m.persist(0, map, off, len as u64)
+            }
+            _ => m.msync(0, map, off & !(PAGE - 1), PAGE),
+        }
+    }
+
+    /// The op-index range of epoch `e` out of `epochs` (the remainder
+    /// rides in the last epoch).
+    fn slice(&self, e: usize, epochs: usize) -> std::ops::Range<usize> {
+        let per = self.ops / epochs;
+        let start = e * per;
+        let end = if e + 1 == epochs { self.ops } else { start + per };
+        start..end
+    }
+
+    /// Runs the whole stream sequentially and returns the measured
+    /// counter delta over the op window (setup excluded).
+    ///
+    /// # Errors
+    ///
+    /// Machine failures.
+    pub fn measure_sequential(
+        &self,
+        opts: MachineOpts,
+        mode: SecurityMode,
+    ) -> Result<StatsSnapshot, MachineError> {
+        let (mut m, map) = self.build(opts, mode)?;
+        let base = m.snapshot();
+        for i in 0..self.ops {
+            self.apply(&mut m, map, i)?;
+        }
+        Ok(m.snapshot().delta(&base))
+    }
+
+    /// The checkpoint pass: runs the stream once, snapshotting the
+    /// machine at each epoch boundary. Entry `e` is the machine state at
+    /// the *start* of epoch `e` (entry 0 is the post-setup state).
+    ///
+    /// # Errors
+    ///
+    /// Machine failures, or a snapshot refusal rendered as a string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` is zero or exceeds the op count.
+    pub fn checkpoints(
+        &self,
+        opts: MachineOpts,
+        mode: SecurityMode,
+        epochs: usize,
+    ) -> Result<Vec<Vec<u8>>, String> {
+        assert!(epochs > 0 && epochs <= self.ops, "bad epoch count {epochs}");
+        let (mut m, map) = self.build(opts, mode).map_err(|e| e.to_string())?;
+        let mut cps = Vec::with_capacity(epochs);
+        for e in 0..epochs {
+            cps.push(m.save_snapshot().map_err(|err| format!("checkpoint {e}: {err}"))?);
+            for i in self.slice(e, epochs) {
+                self.apply(&mut m, map, i).map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(cps)
+    }
+
+    /// Replays all epochs concurrently on the worker pool from
+    /// `checkpoints` and stitches the per-epoch deltas into one
+    /// measurement equal to [`EpochStream::measure_sequential`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a checkpoint that fails to restore or an op failure —
+    /// both indicate checkpoint/stream mismatch, a harness bug.
+    pub fn replay_parallel(
+        &self,
+        opts: MachineOpts,
+        mode: SecurityMode,
+        checkpoints: &[Vec<u8>],
+    ) -> StatsSnapshot {
+        let epochs = checkpoints.len();
+        let stream = *self;
+        let tasks: Vec<_> = checkpoints
+            .iter()
+            .enumerate()
+            .map(|(e, bytes)| {
+                let bytes = bytes.clone();
+                move || {
+                    let mut m = Machine::restore_snapshot(opts, mode, &bytes)
+                        .unwrap_or_else(|err| panic!("epoch {e} restore: {err:?}"));
+                    let map = m.mapping_of(FILE_NAME).expect("stream file is mapped");
+                    let base = m.snapshot();
+                    for i in stream.slice(e, epochs) {
+                        stream
+                            .apply(&mut m, map, i)
+                            .unwrap_or_else(|err| panic!("epoch {e} op {i}: {err}"));
+                    }
+                    m.snapshot().delta(&base)
+                }
+            })
+            .collect();
+        let mut total = StatsSnapshot::default();
+        for delta in pool::run_tasks(tasks) {
+            total.merge(&delta);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `set_jobs`/`set_schedule` are process-global; tests that move
+    /// them off the defaults serialize behind this lock.
+    static POOL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn small_stream() -> EpochStream {
+        EpochStream { seed: 0xE70C, file_pages: 8, ops: 200 }
+    }
+
+    #[test]
+    fn stitched_replay_equals_sequential_at_any_jobs_and_schedule() {
+        let _guard = POOL_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let stream = small_stream();
+        let opts = MachineOpts::small_test();
+        for mode in [SecurityMode::FsEncr, SecurityMode::MemoryOnly] {
+            let sequential = stream.measure_sequential(opts, mode).unwrap();
+            let cps = stream.checkpoints(opts, mode, 5).unwrap();
+            for (jobs, sched) in [
+                (1, pool::Schedule::Fifo),
+                (4, pool::Schedule::Fifo),
+                (4, pool::Schedule::Lifo),
+                (4, pool::Schedule::EvenOdd),
+                (3, pool::Schedule::Stagger),
+            ] {
+                pool::set_jobs(jobs);
+                pool::set_schedule(sched);
+                let stitched = stream.replay_parallel(opts, mode, &cps);
+                assert_eq!(
+                    stitched, sequential,
+                    "divergence under {mode} jobs={jobs} sched={sched:?}"
+                );
+            }
+            pool::set_jobs(0);
+            pool::set_schedule(pool::Schedule::Fifo);
+        }
+    }
+
+    #[test]
+    fn epoch_count_does_not_change_the_measurement() {
+        let _guard = POOL_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let stream = small_stream();
+        let opts = MachineOpts::small_test();
+        let sequential = stream.measure_sequential(opts, SecurityMode::FsEncr).unwrap();
+        for epochs in [1, 2, 7, 25] {
+            let cps = stream.checkpoints(opts, SecurityMode::FsEncr, epochs).unwrap();
+            assert_eq!(cps.len(), epochs);
+            let stitched = stream.replay_parallel(opts, SecurityMode::FsEncr, &cps);
+            assert_eq!(stitched, sequential, "epochs={epochs}");
+        }
+    }
+
+    #[test]
+    fn slices_partition_the_stream() {
+        let stream = EpochStream { seed: 1, file_pages: 2, ops: 103 };
+        for epochs in [1, 2, 5, 103] {
+            let mut covered = 0;
+            let mut next = 0;
+            for e in 0..epochs {
+                let r = stream.slice(e, epochs);
+                assert_eq!(r.start, next, "epochs={epochs} e={e}");
+                next = r.end;
+                covered += r.len();
+            }
+            assert_eq!(covered, stream.ops, "epochs={epochs}");
+            assert_eq!(next, stream.ops);
+        }
+    }
+}

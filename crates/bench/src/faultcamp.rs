@@ -26,13 +26,25 @@
 //!   This is silent corruption inside coverage; the report surfaces it
 //!   as `undetected_in_coverage`, which a healthy tree keeps at **0**.
 //!
-//! Determinism: scenarios share nothing and are joined in submission
-//! order by [`crate::pool::run_tasks`], every random choice derives from
-//! `(seed, scenario)` via [`XorShift64`], and the report contains no
-//! wall-clock — so `FAULTS_report.json` is byte-identical at any
-//! `--jobs` count and under every [`crate::pool::Schedule`] policy.
+//! Determinism: scenarios share nothing mutable and are joined in
+//! submission order by [`crate::pool::run_tasks`], every random choice
+//! derives from the campaign seed (init) or `(seed, scenario)` (plans
+//! and ops) via [`XorShift64`], and the report contains no wall-clock —
+//! so `FAULTS_report.json` is byte-identical at any `--jobs` count and
+//! under every [`crate::pool::Schedule`] policy.
+//!
+//! Scenario setup is *snapshot-seeded*: the post-initialisation machine
+//! (file created, mapped, fully written and persisted) depends only on
+//! the campaign seed, so it is built **once**, serialised with
+//! [`Machine::save_snapshot`], and every scenario restores its own
+//! machine from the shared bytes instead of re-simulating the
+//! initialisation. The snapshot round-trip theorem (`snapshot_roundtrip`
+//! suite) makes the restored machine bit-identical to the one that ran
+//! setup in-process — [`campaign_matches_cold_setup`] in the test module
+//! pins the resulting report bytes to the cold path's.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use fsencr::machine::MachineError;
 use fsencr::{Machine, MachineOpts, MemError, SecurityMode};
@@ -210,26 +222,26 @@ fn fill_random(rng: &mut XorShift64, buf: &mut [u8]) {
     }
 }
 
-/// Runs one scenario and audits the outcome. See the module docs for the
-/// exact protocol and verdict taxonomy.
-fn run_scenario(seed: u64, scenario: u64, spec: &CampaignSpec) -> ScenarioOutcome {
-    let mut out = ScenarioOutcome {
-        scenario,
-        ..ScenarioOutcome::default()
-    };
-    let user = UserId::new(1);
-    let group = GroupId::new(1);
+/// The shared post-initialisation state every scenario starts from: the
+/// machine snapshot plus the host-side shadow of the file's content.
+/// A pure function of the campaign seed.
+pub struct CampaignBase {
+    snapshot: Vec<u8>,
+    shadow: Vec<u8>,
+}
+
+/// Builds the post-initialisation machine in-process: file created,
+/// mapped, every line written and persisted before any injector arms,
+/// so the ECC oracle covers the whole file and the audit has no
+/// out-of-coverage holes by construction.
+fn setup_base(seed: u64) -> (Machine, fsencr::machine::MapId, Vec<u8>) {
     let mut m = Machine::new(MachineOpts::small_test(), SecurityMode::FsEncr);
     let h = m
-        .create(user, group, "camp.bin", Mode::PRIVATE, Some("pw"))
+        .create(UserId::new(1), GroupId::new(1), "camp.bin", Mode::PRIVATE, Some("pw"))
         .expect("campaign file creates");
-    let mut map = m.mmap(&h).expect("campaign file maps");
-
-    // Full initialisation: every line written and persisted before the
-    // injector arms, so the ECC oracle covers the whole file and the
-    // audit has no out-of-coverage holes by construction.
+    let map = m.mmap(&h).expect("campaign file maps");
     let mut shadow = vec![0u8; FILE_BYTES as usize];
-    let mut init_rng = XorShift64::new(seed).derive(scenario.wrapping_add(1)).derive(0xF111);
+    let mut init_rng = XorShift64::new(seed).derive(0xF111);
     fill_random(&mut init_rng, &mut shadow);
     for page in 0..FILE_PAGES {
         let off = page * 4096;
@@ -238,6 +250,48 @@ fn run_scenario(seed: u64, scenario: u64, spec: &CampaignSpec) -> ScenarioOutcom
         m.persist(0, map, off, 4096)
             .expect("pristine machine persists the init write");
     }
+    (m, map, shadow)
+}
+
+/// Serialises the seed's post-initialisation state once, for every
+/// scenario to restore from.
+pub fn campaign_base(seed: u64) -> CampaignBase {
+    let (m, _, shadow) = setup_base(seed);
+    let snapshot = m.save_snapshot().expect("no injector armed during setup");
+    CampaignBase { snapshot, shadow }
+}
+
+/// Runs one scenario and audits the outcome. See the module docs for the
+/// exact protocol and verdict taxonomy.
+///
+/// With a [`CampaignBase`], the scenario restores the shared post-init
+/// snapshot; without one it re-simulates the initialisation. Both paths
+/// produce identical outcomes (pinned by the test suite).
+fn run_scenario(
+    seed: u64,
+    scenario: u64,
+    spec: &CampaignSpec,
+    base: Option<&CampaignBase>,
+) -> ScenarioOutcome {
+    let mut out = ScenarioOutcome {
+        scenario,
+        ..ScenarioOutcome::default()
+    };
+    let user = UserId::new(1);
+    let group = GroupId::new(1);
+    let (mut m, mut map, mut shadow) = match base {
+        Some(b) => {
+            let m = Machine::restore_snapshot(
+                MachineOpts::small_test(),
+                SecurityMode::FsEncr,
+                &b.snapshot,
+            )
+            .expect("campaign base snapshot restores");
+            let map = m.mapping_of("camp.bin").expect("campaign file is mapped in the base");
+            (m, map, b.shadow.clone())
+        }
+        None => setup_base(seed),
+    };
 
     let plan = FaultPlan::generate(seed, scenario, spec);
     out.planned = plan.planned();
@@ -428,13 +482,33 @@ fn run_scenario(seed: u64, scenario: u64, spec: &CampaignSpec) -> ScenarioOutcom
     out
 }
 
-/// Runs the whole campaign: `spec.scenarios` scenarios fanned out over
-/// [`pool::run_tasks`], joined in submission order.
+/// Runs the whole campaign: the shared post-init machine is built and
+/// snapshotted once, then `spec.scenarios` scenarios restore from it and
+/// fan out over [`pool::run_tasks`], joined in submission order.
 pub fn run_campaign(seed: u64, spec: &CampaignSpec) -> CampaignReport {
+    let base = Arc::new(campaign_base(seed));
     let tasks: Vec<_> = (0..spec.scenarios)
         .map(|scenario| {
             let spec = *spec;
-            move || run_scenario(seed, scenario, &spec)
+            let base = Arc::clone(&base);
+            move || run_scenario(seed, scenario, &spec, Some(&base))
+        })
+        .collect();
+    CampaignReport {
+        seed,
+        spec: *spec,
+        scenarios: pool::run_tasks(tasks),
+    }
+}
+
+/// [`run_campaign`] with every scenario re-simulating its own setup —
+/// the reference path the snapshot-seeded one must match byte for byte.
+/// Kept for the equivalence tests and for auditing the store itself.
+pub fn run_campaign_cold(seed: u64, spec: &CampaignSpec) -> CampaignReport {
+    let tasks: Vec<_> = (0..spec.scenarios)
+        .map(|scenario| {
+            let spec = *spec;
+            move || run_scenario(seed, scenario, &spec, None)
         })
         .collect();
     CampaignReport {
@@ -464,5 +538,16 @@ mod tests {
         assert_eq!(a, b);
         let c = run_campaign(43, &spec).to_json();
         assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn campaign_matches_cold_setup() {
+        // The snapshot-seeded path (one shared restored base) must
+        // produce byte-identical report JSON to scenarios that each ran
+        // their own in-process setup.
+        let spec: CampaignSpec = "scenarios=3,ops=16".parse().unwrap();
+        let warm = run_campaign(42, &spec).to_json();
+        let cold = run_campaign_cold(42, &spec).to_json();
+        assert_eq!(warm, cold, "snapshot-seeded campaign diverged from cold setup");
     }
 }

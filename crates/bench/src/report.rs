@@ -10,7 +10,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": "fsencr-bench-harness/4",
+//!   "schema": "fsencr-bench-harness/5",
 //!   "host_parallelism": 4,
 //!   "jobs": 4,
 //!   "scale": 0.05,
@@ -55,6 +55,12 @@
 //!     "batched_persists_per_sec": 3.0e5,
 //!     "looped_persists_per_sec": 2.0e5,
 //!     "persist_speedup": 1.5
+//!   },
+//!   "snapshot": {
+//!     "cold_setup_wall_s": 0.8,
+//!     "restore_wall_s": 0.1,
+//!     "speedup": 8.0,
+//!     "snapshot_bytes": 1048576
 //!   },
 //!   "engine": {
 //!     "serial_wall_s": 10.0,
@@ -315,6 +321,33 @@ impl MerkleThroughput {
     }
 }
 
+/// Snapshot-subsystem microbenchmark: the warm-start win. The *cold*
+/// side simulates a representative setup phase in process; the *restore*
+/// side rebuilds the identical machine from its `fsencr-snap/1` image.
+/// Both machines are bit-identical afterwards (the snapshot round-trip
+/// theorem), so the wall-clock gap is pure saved simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotThroughput {
+    /// Wall-clock of the in-process setup simulation.
+    pub cold_setup_wall: Duration,
+    /// Wall-clock of restoring the equivalent snapshot.
+    pub restore_wall: Duration,
+    /// Encoded snapshot size in bytes.
+    pub snapshot_bytes: u64,
+}
+
+impl SnapshotThroughput {
+    /// Cold-setup over restore wall-clock speedup.
+    pub fn speedup(&self) -> f64 {
+        let r = self.restore_wall.as_secs_f64();
+        if r <= 0.0 {
+            0.0
+        } else {
+            self.cold_setup_wall.as_secs_f64() / r
+        }
+    }
+}
+
 /// Everything `harness bench` measures.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -336,6 +369,8 @@ pub struct BenchReport {
     pub batch: BatchThroughput,
     /// Batched Merkle-engine microbenchmark.
     pub merkle: MerkleThroughput,
+    /// Snapshot restore-vs-setup microbenchmark.
+    pub snap: SnapshotThroughput,
     /// Wall-clock of the serial (`jobs = 1`) engine run.
     pub serial_wall: Duration,
     /// Wall-clock of the parallel engine run.
@@ -373,7 +408,7 @@ impl BenchReport {
             ));
         }
         format!(
-            "{{\n  \"schema\": \"fsencr-bench-harness/4\",\n  \"host_parallelism\": {},\n  \"jobs\": {},\n  \"scale\": {},\n  \"aes\": {{\n    \"ttable_blocks_per_sec\": {},\n    \"reference_blocks_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"digest\": {{\n    \"line_hashes_per_sec\": {},\n    \"streaming_hashes_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"pad\": {{\n    \"cached_pads_per_sec\": {},\n    \"uncached_pads_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"metadata\": {{\n    \"memo_digests_per_sec\": {},\n    \"rehash_digests_per_sec\": {},\n    \"speedup\": {},\n    \"memo_persists_per_sec\": {},\n    \"rehash_persists_per_sec\": {},\n    \"persist_speedup\": {}\n  }},\n  \"batch\": {{\n    \"quad_pads_per_sec\": {},\n    \"single_pads_per_sec\": {},\n    \"pad_speedup\": {},\n    \"batched_reads_per_sec\": {},\n    \"looped_reads_per_sec\": {},\n    \"read_speedup\": {}\n  }},\n  \"merkle\": {{\n    \"lane_digests_per_sec\": {},\n    \"oneshot_digests_per_sec\": {},\n    \"lanes_speedup\": {},\n    \"batched_verifies_per_sec\": {},\n    \"looped_verifies_per_sec\": {},\n    \"verify_speedup\": {},\n    \"batched_persists_per_sec\": {},\n    \"looped_persists_per_sec\": {},\n    \"persist_speedup\": {}\n  }},\n  \"engine\": {{\n    \"serial_wall_s\": {},\n    \"parallel_wall_s\": {},\n    \"speedup\": {},\n    \"cells\": [\n{}\n    ]\n  }}\n}}\n",
+            "{{\n  \"schema\": \"fsencr-bench-harness/5\",\n  \"host_parallelism\": {},\n  \"jobs\": {},\n  \"scale\": {},\n  \"aes\": {{\n    \"ttable_blocks_per_sec\": {},\n    \"reference_blocks_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"digest\": {{\n    \"line_hashes_per_sec\": {},\n    \"streaming_hashes_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"pad\": {{\n    \"cached_pads_per_sec\": {},\n    \"uncached_pads_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"metadata\": {{\n    \"memo_digests_per_sec\": {},\n    \"rehash_digests_per_sec\": {},\n    \"speedup\": {},\n    \"memo_persists_per_sec\": {},\n    \"rehash_persists_per_sec\": {},\n    \"persist_speedup\": {}\n  }},\n  \"batch\": {{\n    \"quad_pads_per_sec\": {},\n    \"single_pads_per_sec\": {},\n    \"pad_speedup\": {},\n    \"batched_reads_per_sec\": {},\n    \"looped_reads_per_sec\": {},\n    \"read_speedup\": {}\n  }},\n  \"merkle\": {{\n    \"lane_digests_per_sec\": {},\n    \"oneshot_digests_per_sec\": {},\n    \"lanes_speedup\": {},\n    \"batched_verifies_per_sec\": {},\n    \"looped_verifies_per_sec\": {},\n    \"verify_speedup\": {},\n    \"batched_persists_per_sec\": {},\n    \"looped_persists_per_sec\": {},\n    \"persist_speedup\": {}\n  }},\n  \"snapshot\": {{\n    \"cold_setup_wall_s\": {},\n    \"restore_wall_s\": {},\n    \"speedup\": {},\n    \"snapshot_bytes\": {}\n  }},\n  \"engine\": {{\n    \"serial_wall_s\": {},\n    \"parallel_wall_s\": {},\n    \"speedup\": {},\n    \"cells\": [\n{}\n    ]\n  }}\n}}\n",
             self.host_parallelism,
             self.jobs,
             json_f64(self.scale),
@@ -407,6 +442,10 @@ impl BenchReport {
             json_f64(self.merkle.batched_persists_per_sec),
             json_f64(self.merkle.looped_persists_per_sec),
             json_f64(self.merkle.persist_speedup()),
+            json_f64(self.snap.cold_setup_wall.as_secs_f64()),
+            json_f64(self.snap.restore_wall.as_secs_f64()),
+            json_f64(self.snap.speedup()),
+            self.snap.snapshot_bytes,
             json_f64(self.serial_wall.as_secs_f64()),
             json_f64(self.parallel_wall.as_secs_f64()),
             json_f64(self.engine_speedup()),
@@ -485,6 +524,11 @@ mod tests {
                 batched_persists_per_sec: 3.0e5,
                 looped_persists_per_sec: 2.0e5,
             },
+            snap: SnapshotThroughput {
+                cold_setup_wall: Duration::from_millis(800),
+                restore_wall: Duration::from_millis(100),
+                snapshot_bytes: 1 << 20,
+            },
             serial_wall: Duration::from_millis(900),
             parallel_wall: Duration::from_millis(300),
             cells: vec![CellRecord {
@@ -510,6 +554,7 @@ mod tests {
         assert!((r.merkle.lanes_speedup() - 2.0).abs() < 1e-9);
         assert!((r.merkle.verify_speedup() - 2.0).abs() < 1e-9);
         assert!((r.merkle.persist_speedup() - 1.5).abs() < 1e-9);
+        assert!((r.snap.speedup() - 8.0).abs() < 1e-9);
         assert!((r.engine_speedup() - 3.0).abs() < 1e-9);
         assert_eq!(r.cells[0].sim_lines_per_sec(), 2000.0);
     }
@@ -517,7 +562,7 @@ mod tests {
     #[test]
     fn json_is_well_formed_enough() {
         let json = sample_report().to_json();
-        assert!(json.contains("\"schema\": \"fsencr-bench-harness/4\""));
+        assert!(json.contains("\"schema\": \"fsencr-bench-harness/5\""));
         assert!(json.contains("\"line_hashes_per_sec\""));
         assert!(json.contains("\"cached_pads_per_sec\""));
         assert!(json.contains("\"memo_digests_per_sec\""));
@@ -527,6 +572,8 @@ mod tests {
         assert!(json.contains("\"lane_digests_per_sec\""));
         assert!(json.contains("\"batched_verifies_per_sec\""));
         assert!(json.contains("\"batched_persists_per_sec\""));
+        assert!(json.contains("\"cold_setup_wall_s\""));
+        assert!(json.contains("\"snapshot_bytes\": 1048576"));
         assert!(json.contains("\\\"zipf\\\""), "quotes must be escaped: {json}");
         assert!(json.contains("\"speedup\": 4.000000"));
         // Balanced braces/brackets (cheap sanity check without a parser).

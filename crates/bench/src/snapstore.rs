@@ -1,0 +1,166 @@
+//! Content-addressed store of post-setup machine snapshots.
+//!
+//! The second warm-start layer under the experiment harness. The cell
+//! cache ([`crate::cellcache`]) memoizes *finished* cell results; this
+//! store memoizes the expensive part of a cell that still has to run —
+//! the setup phase (file creation, pool prefaulting, KV preloads). A
+//! cell whose measured-phase parameters changed misses the cell cache
+//! but can still restore its post-setup machine image and skip straight
+//! to measurement, because snapshots are keyed by
+//! [`setup_spec`](fsencr_workloads::driver::Workload::setup_spec) — the
+//! setup-only parameter subset — rather than the full `spec()`. One
+//! snapshot therefore serves every scale of a cell, and setups shared
+//! between workloads (DAX-1/DAX-2; the four preloading PMEMKV benches)
+//! are simulated once.
+//!
+//! The snapshot round-trip theorem (`snapshot_roundtrip` suite) plus the
+//! warm-start equivalence suite (`warm_start` in `fsencr-workloads`)
+//! guarantee a restored machine measures bit-identically to one whose
+//! setup ran in-process, so figures stay byte-identical whichever path
+//! produced them.
+//!
+//! Layout: a directory (`CACHE_snapshots/` next to `CACHE_cells.json`)
+//! holding one `<key>.snap` file of raw `fsencr-snap/1` bytes per entry.
+//! The key is a SHA-256 over the same material as a cell key with the
+//! full spec replaced by `setup_spec`, so the crate-version salt
+//! invalidates every entry on any code change; the snapshot codec's
+//! chained digests and config fingerprint reject anything stale or
+//! corrupt that slips through. Like the cell cache, the store is an
+//! accelerator, never a dependency: every failure degrades to a cold
+//! setup with identical output.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use fsencr::machine::{MachineOpts, SecurityMode};
+
+use crate::cellcache::cell_key;
+
+/// The content-addressed key of one post-setup snapshot.
+///
+/// Reuses the cell-key material (salt, mode, full `MachineOpts` Debug
+/// rendering) with a fixed `"snapshot"` label and the workload's
+/// `setup_spec` in the spec slot.
+pub fn snap_key(mode: SecurityMode, opts: &MachineOpts, setup_spec: &str) -> String {
+    cell_key("snapshot", mode, opts, setup_spec)
+}
+
+struct Store {
+    dir: PathBuf,
+    hits: u64,
+    misses: u64,
+    stores: u64,
+}
+
+static STORE: Mutex<Option<Store>> = Mutex::new(None);
+
+fn with_store<T>(f: impl FnOnce(&mut Option<Store>) -> T) -> T {
+    let mut guard = STORE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    f(&mut guard)
+}
+
+/// Enables the store backed by directory `dir` (created on first
+/// write), or disables it with `None`.
+pub fn configure(dir: Option<PathBuf>) {
+    with_store(|store| {
+        *store = dir.map(|dir| Store { dir, hits: 0, misses: 0, stores: 0 });
+    });
+}
+
+/// Whether a store is currently configured.
+pub fn is_enabled() -> bool {
+    with_store(|store| store.is_some())
+}
+
+/// `(hits, misses, stores)` since [`configure`].
+pub fn counters() -> (u64, u64, u64) {
+    with_store(|store| store.as_ref().map_or((0, 0, 0), |s| (s.hits, s.misses, s.stores)))
+}
+
+fn entry_path(dir: &std::path::Path, key: &str) -> PathBuf {
+    dir.join(format!("{key}.snap"))
+}
+
+/// Fetches the snapshot bytes for `key`, if the store is enabled and
+/// holds them. Counts a hit or miss.
+pub fn lookup(key: &str) -> Option<Vec<u8>> {
+    with_store(|store| {
+        let s = store.as_mut()?;
+        match std::fs::read(entry_path(&s.dir, key)) {
+            Ok(bytes) => {
+                s.hits += 1;
+                Some(bytes)
+            }
+            Err(_) => {
+                s.misses += 1;
+                None
+            }
+        }
+    })
+}
+
+/// Records freshly captured snapshot bytes under `key` (no-op when
+/// disabled; write failures are swallowed — accelerator, not
+/// dependency). Entries are written immediately, so a later cell in the
+/// same run that shares the setup already hits.
+pub fn store(key: &str, bytes: &[u8]) {
+    with_store(|store| {
+        if let Some(s) = store.as_mut() {
+            if std::fs::create_dir_all(&s.dir).is_ok()
+                && std::fs::write(entry_path(&s.dir, key), bytes).is_ok()
+            {
+                s.stores += 1;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The store is process-global; serialize tests that touch it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("snapstore-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn keys_separate_every_input() {
+        let opts = MachineOpts::small_test();
+        let base = snap_key(SecurityMode::FsEncr, &opts, "w-setup(n=1)");
+        assert_eq!(base.len(), 64);
+        assert_ne!(base, snap_key(SecurityMode::MemoryOnly, &opts, "w-setup(n=1)"));
+        assert_ne!(base, snap_key(SecurityMode::FsEncr, &opts, "w-setup(n=2)"));
+        // And snapshot keys can never collide with cell-result keys for
+        // the same material (distinct label).
+        assert_ne!(base, cell_key("cell", SecurityMode::FsEncr, &opts, "w-setup(n=1)"));
+    }
+
+    #[test]
+    fn round_trips_bytes_and_counts() {
+        let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let dir = temp_dir("rt");
+        std::fs::remove_dir_all(&dir).ok();
+        configure(Some(dir.clone()));
+        assert!(is_enabled());
+        assert_eq!(lookup("missing"), None);
+        store("k1", b"snapshot-bytes");
+        assert_eq!(lookup("k1").as_deref(), Some(&b"snapshot-bytes"[..]));
+        assert_eq!(counters(), (1, 1, 1));
+        configure(None);
+        assert!(!is_enabled());
+        assert_eq!(lookup("k1"), None, "disabled store never serves");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disabled_store_is_inert() {
+        let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        configure(None);
+        store("k", b"bytes");
+        assert_eq!(lookup("k"), None);
+        assert_eq!(counters(), (0, 0, 0));
+    }
+}

@@ -92,6 +92,11 @@ fn rekey_and_crash_recovery_replay_clean_under_armed_oracles() {
     m.crash();
     let report = m.recover();
     assert_eq!(report.unrecoverable, 0, "{report:?}");
+    // Exact-repair oracle: with nothing quarantined, the Merkle rebuild
+    // must reset precisely zero leaves — the skip-set prediction. (The
+    // rebuild itself asserts list equality; the report surfaces the
+    // count.)
+    assert_eq!(report.metadata_reset, 0, "{report:?}");
     let h = m
         .open(ALICE, &[STAFF], "ledger", AccessKind::Read, Some("pw2"))
         .unwrap();

@@ -313,6 +313,39 @@ impl Hierarchy {
     pub fn l3_stats(&self) -> (u64, u64) {
         (self.l3.stats().hits.get(), self.l3.stats().misses.get())
     }
+
+    /// Serializes every cache in a fixed order (L1s, L2s, L3).
+    pub fn snap_save(&self, enc: &mut fsencr_snapshot::Enc) {
+        enc.put_u64(self.l1.len() as u64);
+        for c in &self.l1 {
+            c.snap_save(enc);
+        }
+        for c in &self.l2 {
+            c.snap_save(enc);
+        }
+        self.l3.snap_save(enc);
+    }
+
+    /// Restores a hierarchy for `cfg` from [`Hierarchy::snap_save`] bytes.
+    pub fn snap_load(
+        cfg: &CpuConfig,
+        dec: &mut fsencr_snapshot::Dec<'_>,
+    ) -> Result<Hierarchy, fsencr_snapshot::SnapError> {
+        let cores = dec.get_len()?;
+        if cores != cfg.cores || cores == 0 {
+            return Err(fsencr_snapshot::SnapError::StateMismatch);
+        }
+        let mut l1 = Vec::with_capacity(cores);
+        for _ in 0..cores {
+            l1.push(Cache::snap_load(cfg.l1, dec)?);
+        }
+        let mut l2 = Vec::with_capacity(cores);
+        for _ in 0..cores {
+            l2.push(Cache::snap_load(cfg.l2, dec)?);
+        }
+        let l3 = Cache::snap_load(cfg.l3, dec)?;
+        Ok(Hierarchy { l1, l2, l3 })
+    }
 }
 
 #[cfg(test)]

@@ -257,6 +257,74 @@ impl Cache {
     pub fn capacity_lines(&self) -> usize {
         self.sets.len() * self.cfg.ways
     }
+
+    /// Serializes the full cache state. Way order within each set is
+    /// preserved verbatim: `insert` evicts via `swap_remove`, so the
+    /// in-memory entry order is behavioral and must survive a restore
+    /// bit-for-bit.
+    pub fn snap_save(&self, enc: &mut fsencr_snapshot::Enc) {
+        enc.put_u64(self.sets.len() as u64);
+        for set in &self.sets {
+            enc.put_u64(set.len() as u64);
+            for entry in set {
+                enc.put_u64(entry.tag);
+                enc.put_bytes(&entry.data);
+                enc.put_bool(entry.dirty);
+                enc.put_u64(entry.lru);
+            }
+        }
+        enc.put_u64(self.stamp);
+        enc.put_u64(self.stats.hits.get());
+        enc.put_u64(self.stats.misses.get());
+        enc.put_u64(self.stats.fills.get());
+        enc.put_u64(self.stats.evictions.get());
+    }
+
+    /// Restores a cache with geometry `cfg` from [`Cache::snap_save`]
+    /// bytes. The set count must match the configuration.
+    pub fn snap_load(
+        cfg: CacheConfig,
+        dec: &mut fsencr_snapshot::Dec<'_>,
+    ) -> Result<Cache, fsencr_snapshot::SnapError> {
+        let num_sets = dec.get_len()?;
+        if num_sets != cfg.sets() {
+            return Err(fsencr_snapshot::SnapError::StateMismatch);
+        }
+        let mut sets = Vec::with_capacity(num_sets);
+        for _ in 0..num_sets {
+            let ways = dec.get_len()?;
+            if ways > cfg.ways {
+                return Err(fsencr_snapshot::SnapError::Corrupt("set overfull"));
+            }
+            let mut set = Vec::with_capacity(cfg.ways);
+            for _ in 0..ways {
+                let tag = dec.get_u64()?;
+                let mut data = [0u8; LINE_BYTES];
+                data.copy_from_slice(dec.get_bytes(LINE_BYTES)?);
+                let dirty = dec.get_bool()?;
+                let lru = dec.get_u64()?;
+                set.push(Entry {
+                    tag,
+                    data,
+                    dirty,
+                    lru,
+                });
+            }
+            sets.push(set);
+        }
+        let stamp = dec.get_u64()?;
+        let mut stats = CacheStats::default();
+        stats.hits.add(dec.get_u64()?);
+        stats.misses.add(dec.get_u64()?);
+        stats.fills.add(dec.get_u64()?);
+        stats.evictions.add(dec.get_u64()?);
+        Ok(Cache {
+            cfg,
+            sets,
+            stamp,
+            stats,
+        })
+    }
 }
 
 #[cfg(test)]

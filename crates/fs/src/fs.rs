@@ -106,6 +106,11 @@ impl DaxFs {
         &mut self.keyring
     }
 
+    /// Read-only keyring access (snapshot serialization).
+    pub fn keyring(&self) -> &Keyring {
+        &self.keyring
+    }
+
     /// Convenience: derive and store a session KEK for `user`.
     pub fn login(&mut self, user: UserId, passphrase: &str) {
         self.keyring.login(user, passphrase);

@@ -68,6 +68,39 @@ impl Keyring {
         self.sessions.remove(&user);
     }
 
+    /// Serializes the keyring: RNG state plus every session KEK, sorted by
+    /// user id. Session keys are volatile kernel state, but a checkpoint
+    /// must carry them so a restored machine accepts the same opens.
+    pub fn snap_save(&self, enc: &mut fsencr_snapshot::Enc) {
+        enc.put_u64(self.rng.state());
+        let mut entries: Vec<(u32, [u8; 16])> = self
+            .sessions
+            .iter()
+            .map(|(u, k)| (u.get(), *k.as_bytes()))
+            .collect();
+        entries.sort_unstable_by_key(|(u, _)| *u);
+        enc.put_u64(entries.len() as u64);
+        for (uid, kek) in entries {
+            enc.put_u32(uid);
+            enc.put_bytes(&kek);
+        }
+    }
+
+    /// Restores a keyring from [`Keyring::snap_save`] bytes.
+    pub fn snap_load(
+        dec: &mut fsencr_snapshot::Dec<'_>,
+    ) -> Result<Keyring, fsencr_snapshot::SnapError> {
+        let rng = SplitMix64::new(dec.get_u64()?);
+        let n = dec.get_len()?;
+        let mut sessions = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let uid = dec.get_u32()?;
+            let kek = Key128::from_bytes(dec.get_arr16()?);
+            sessions.insert(UserId::new(uid), kek);
+        }
+        Ok(Keyring { sessions, rng })
+    }
+
     /// Whether the user has an active session.
     pub fn is_logged_in(&self, user: UserId) -> bool {
         self.sessions.contains_key(&user)

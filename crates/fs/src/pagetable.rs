@@ -90,6 +90,39 @@ impl PageTable {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Serializes every mapping in ascending `vpn` order.
+    pub fn snap_save(&self, enc: &mut fsencr_snapshot::Enc) {
+        let mut entries: Vec<(u64, u64, bool)> = self
+            .entries
+            .iter()
+            .map(|(&vpn, pte)| (vpn, pte.frame.get(), pte.df))
+            .collect();
+        entries.sort_unstable_by_key(|&(vpn, _, _)| vpn);
+        enc.put_u64(entries.len() as u64);
+        for (vpn, frame, df) in entries {
+            enc.put_u64(vpn);
+            enc.put_u64(frame);
+            enc.put_bool(df);
+        }
+    }
+
+    /// Restores a table from [`PageTable::snap_save`] bytes.
+    pub fn snap_load(
+        dec: &mut fsencr_snapshot::Dec<'_>,
+    ) -> Result<PageTable, fsencr_snapshot::SnapError> {
+        let n = dec.get_len()?;
+        let mut entries = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let vpn = dec.get_u64()?;
+            let pte = Pte {
+                frame: PageId::new(dec.get_u64()?),
+                df: dec.get_bool()?,
+            };
+            entries.insert(vpn, pte);
+        }
+        Ok(PageTable { entries })
+    }
 }
 
 #[cfg(test)]

@@ -186,6 +186,58 @@ impl PageCacheModel {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// Serializes the cache: LRU stamp plus resident entries sorted by
+    /// `(ino, page)` key. Sorting is safe — lookups hash, and eviction
+    /// order depends only on the per-entry stamps, not map iteration.
+    pub fn snap_save(&self, enc: &mut fsencr_snapshot::Enc) {
+        enc.put_u64(self.stamp);
+        let mut entries: Vec<(u32, usize, u64, bool)> = self
+            .resident
+            .iter()
+            .map(|(&(ino, page), e)| (ino, page, e.stamp, e.dirty))
+            .collect();
+        entries.sort_unstable_by_key(|&(ino, page, _, _)| (ino, page));
+        enc.put_u64(entries.len() as u64);
+        for (ino, page, stamp, dirty) in entries {
+            enc.put_u32(ino);
+            enc.put_u64(page as u64);
+            enc.put_u64(stamp);
+            enc.put_bool(dirty);
+        }
+    }
+
+    /// Restores a cache from [`PageCacheModel::snap_save`] bytes.
+    /// `capacity` comes from the live configuration; a snapshot holding
+    /// more residents than fit is rejected.
+    pub fn snap_load(
+        capacity: usize,
+        dec: &mut fsencr_snapshot::Dec<'_>,
+    ) -> Result<PageCacheModel, fsencr_snapshot::SnapError> {
+        if capacity == 0 {
+            return Err(fsencr_snapshot::SnapError::StateMismatch);
+        }
+        let stamp = dec.get_u64()?;
+        let n = dec.get_len()?;
+        if n > capacity {
+            return Err(fsencr_snapshot::SnapError::StateMismatch);
+        }
+        let mut resident = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let ino = dec.get_u32()?;
+            let page = dec.get_u64()? as usize;
+            let entry = Entry {
+                stamp: dec.get_u64()?,
+                dirty: dec.get_bool()?,
+            };
+            resident.insert((ino, page), entry);
+        }
+        Ok(PageCacheModel {
+            capacity,
+            resident,
+            stamp,
+        })
+    }
 }
 
 #[cfg(test)]

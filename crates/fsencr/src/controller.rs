@@ -173,6 +173,10 @@ pub struct RecoveryReport {
     /// Lines newly quarantined by this recovery (a subset of
     /// `unrecoverable`; zero unless auto-quarantine is enabled).
     pub quarantined: u64,
+    /// Quarantined metadata leaves the Merkle rebuild reset to
+    /// canonical zero — exactly the skip-set prediction, enforced by
+    /// the rebuild's exact-repair oracle.
+    pub metadata_reset: u64,
 }
 
 /// The processor-resident secrets that accompany a migrated NVM module:
@@ -402,6 +406,13 @@ impl MemoryController {
     /// Distinct (key, IV) pads the oracle has recorded (0 when off).
     pub fn pad_oracle_distinct(&self) -> usize {
         self.pad_ledger.distinct_pads()
+    }
+
+    /// Host-side Merkle batch-planner telemetry: `(plans, digests
+    /// seeded)` since construction. Pure observability — never feeds
+    /// back into simulated cycles.
+    pub fn batch_plan_stats(&self) -> (u64, u64) {
+        self.meta.batch_plan_stats()
     }
 
     /// Turns the metadata system's Merkle-coverage oracle on or off for
@@ -1297,7 +1308,8 @@ impl MemoryController {
         // metadata lines are *skipped* — zeroed rather than re-trusted —
         // so bytes that already failed verification can never be
         // laundered back into the tree by a rebuild.
-        self.meta.rebuild_skipping(&mut self.nvm, &self.quarantine);
+        let reset = self.meta.rebuild_skipping(&mut self.nvm, &self.quarantine);
+        report.metadata_reset = reset.len() as u64;
         // A skipped (zeroed) metadata leaf is now canonical, Merkle-
         // covered zero; keeping it fenced would re-zero it on every
         // future rebuild even as its counters legitimately evolve, so
@@ -1395,6 +1407,89 @@ impl MemoryController {
     /// with the DIMM: the device contents and its ECC lanes.
     pub fn into_media(self) -> (NvmDevice, EccStore) {
         (self.nvm, self.ecc)
+    }
+
+    /// Serializes the full controller state: keys, device, metadata
+    /// system, ECC lanes, OTT and datapath counters. Host-side
+    /// accelerators (schedule cache, pad scratch, observer, oracles) are
+    /// not state — a restored controller rebuilds them cold, which the
+    /// batch-equivalence suites prove cycle-neutral. The spill region
+    /// lives entirely on media, so it needs no section of its own.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::InjectorArmed`] while a fault injector is armed —
+    /// campaign scaffolding must be disarmed before checkpointing.
+    pub fn snap_save(
+        &self,
+        enc: &mut fsencr_snapshot::Enc,
+    ) -> Result<(), fsencr_snapshot::SnapError> {
+        enc.put_bytes(self.mem_key.as_bytes());
+        enc.put_bytes(self.ott_key.as_bytes());
+        self.nvm.snap_save(enc)?;
+        self.meta.snap_save(enc);
+        self.ecc.snap_save(enc);
+        self.ott.snap_save(enc);
+        let mut frames: Vec<u64> = self.file_pages.iter().copied().collect();
+        frames.sort_unstable();
+        enc.put_u64(frames.len() as u64);
+        for f in frames {
+            enc.put_u64(f);
+        }
+        enc.put_bool(self.locked);
+        enc.put_bool(self.auto_quarantine);
+        enc.put_u64(self.quarantine.len() as u64);
+        for &line in &self.quarantine {
+            enc.put_u64(line);
+        }
+        self.stats.read_latency.snap_save(enc);
+        enc.put_u64(self.stats.reads.get());
+        enc.put_u64(self.stats.writes.get());
+        enc.put_u64(self.stats.file_accesses.get());
+        enc.put_u64(self.stats.overflow_reencryptions.get());
+        enc.put_u64(self.stats.shredded_pages.get());
+        Ok(())
+    }
+
+    /// Restores a controller from [`MemoryController::snap_save`] bytes.
+    /// `mode`, `layout` and the configs come from the live machine
+    /// options — the snapshot carries state, not configuration — and a
+    /// device that does not fit the layout is a [`SnapError::StateMismatch`].
+    pub fn snap_load(
+        mode: CtrlMode,
+        layout: MetadataLayout,
+        cfg: &SecurityConfig,
+        nvm_cfg: fsencr_sim::config::NvmConfig,
+        dec: &mut fsencr_snapshot::Dec<'_>,
+    ) -> Result<Self, fsencr_snapshot::SnapError> {
+        let mem_key = Key128::from_bytes(dec.get_arr16()?);
+        let ott_key = Key128::from_bytes(dec.get_arr16()?);
+        let nvm = NvmDevice::snap_load(nvm_cfg, dec)?;
+        if nvm.capacity_bytes() < layout.total_bytes() {
+            return Err(fsencr_snapshot::SnapError::StateMismatch);
+        }
+        let mut ctrl = MemoryController::new(mode, layout.clone(), cfg, mem_key, ott_key, nvm);
+        ctrl.meta = MetadataSystem::snap_load(layout, cfg, dec)?;
+        ctrl.ecc = EccStore::snap_load(dec)?;
+        ctrl.ott = OpenTunnelTable::snap_load(cfg.ott_entries(), dec)?;
+        let n = dec.get_len()?;
+        ctrl.file_pages = HashSet::with_capacity(n);
+        for _ in 0..n {
+            ctrl.file_pages.insert(dec.get_u64()?);
+        }
+        ctrl.locked = dec.get_bool()?;
+        ctrl.auto_quarantine = dec.get_bool()?;
+        let q = dec.get_len()?;
+        for _ in 0..q {
+            ctrl.quarantine.insert(dec.get_u64()?);
+        }
+        ctrl.stats.read_latency = Histogram::snap_load(dec)?;
+        ctrl.stats.reads.add(dec.get_u64()?);
+        ctrl.stats.writes.add(dec.get_u64()?);
+        ctrl.stats.file_accesses.add(dec.get_u64()?);
+        ctrl.stats.overflow_reencryptions.add(dec.get_u64()?);
+        ctrl.stats.shredded_pages.add(dec.get_u64()?);
+        Ok(ctrl)
     }
 
     fn tagged_data_lines(&self) -> Vec<LineAddr> {

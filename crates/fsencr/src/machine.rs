@@ -646,6 +646,278 @@ impl Machine {
     }
 
     // ------------------------------------------------------------------
+    // Deterministic snapshots (`fsencr-snap/1`).
+    // ------------------------------------------------------------------
+
+    /// Fingerprint binding a snapshot to the exact construction
+    /// parameters: restoring under different options or a different
+    /// security mode would silently change simulated behaviour, so it is
+    /// rejected up front instead.
+    fn config_fingerprint(opts: &MachineOpts, mode: SecurityMode) -> u64 {
+        fsencr_snapshot::fnv1a64_once(format!("{opts:?}|{mode:?}").as_bytes())
+    }
+
+    /// Serializes the complete simulation-visible machine state in the
+    /// canonical `fsencr-snap/1` format. A machine restored from these
+    /// bytes with [`Machine::restore_snapshot`] (under the same options
+    /// and mode) continues bit-identically — same simulated cycles, same
+    /// media, same Merkle root, same statistics — as one that never
+    /// stopped. Host-side accelerators (tracer, schedule caches, scratch
+    /// buffers, observers, oracles) are rebuilt cold; the batch- and
+    /// observer-equivalence suites prove them cycle-neutral.
+    ///
+    /// # Errors
+    ///
+    /// [`fsencr_snapshot::SnapError::InjectorArmed`] while a fault
+    /// injector or stuck-cell overlay is armed — campaign scaffolding is
+    /// host state; disarm before checkpointing.
+    pub fn save_snapshot(&self) -> Result<Vec<u8>, fsencr_snapshot::SnapError> {
+        let mut enc = fsencr_snapshot::Enc::new();
+
+        enc.begin_section("machine");
+        enc.put_u64(Self::config_fingerprint(&self.opts, self.mode));
+        enc.put_bytes(self.mem_key.as_bytes());
+        enc.put_u32(self.next_map);
+        enc.put_u64(self.heap_next);
+        enc.put_u64(self.journal_cursor);
+        enc.put_bool(self.batching);
+        enc.put_u64(self.clocks.len() as u64);
+        for c in &self.clocks {
+            enc.put_u64(c.get());
+        }
+        let mut maps: Vec<(u32, Mapping)> = self.mappings.iter().map(|(k, v)| (*k, *v)).collect();
+        maps.sort_unstable_by_key(|(k, _)| *k);
+        enc.put_u64(maps.len() as u64);
+        for (id, m) in maps {
+            enc.put_u32(id);
+            enc.put_u32(m.ino.get());
+            match m.fek {
+                Some(k) => {
+                    enc.put_bool(true);
+                    enc.put_bytes(k.as_bytes());
+                }
+                None => enc.put_bool(false),
+            }
+            enc.put_u64(m.base);
+            enc.put_u64(m.bytes);
+            enc.put_bool(m.writable);
+        }
+        let mut frames: Vec<(u32, u64, u64)> = self
+            .pc_frames
+            .iter()
+            .map(|(&(ino, page), &frame)| (ino, page as u64, frame))
+            .collect();
+        frames.sort_unstable_by_key(|&(ino, page, _)| (ino, page));
+        enc.put_u64(frames.len() as u64);
+        for (ino, page, frame) in frames {
+            enc.put_u32(ino);
+            enc.put_u64(page);
+            enc.put_u64(frame);
+        }
+        // The free list is popped from the tail, so its order is
+        // behavioral — written verbatim.
+        enc.put_u64(self.pc_free.len() as u64);
+        for f in &self.pc_free {
+            enc.put_u64(*f);
+        }
+        let mut valid: Vec<(u32, u64)> = self
+            .sw_valid
+            .iter()
+            .map(|&(ino, page)| (ino, page as u64))
+            .collect();
+        valid.sort_unstable();
+        enc.put_u64(valid.len() as u64);
+        for (ino, page) in valid {
+            enc.put_u32(ino);
+            enc.put_u64(page);
+        }
+        enc.end_section();
+
+        enc.begin_section("hier");
+        self.hier.snap_save(&mut enc);
+        enc.end_section();
+
+        enc.begin_section("ctrl");
+        self.ctrl.snap_save(&mut enc)?;
+        enc.end_section();
+
+        enc.begin_section("fs");
+        enc.put_blob(&self.fs.serialize());
+        self.fs.keyring().snap_save(&mut enc);
+        self.page_cache.snap_save(&mut enc);
+        self.pt.snap_save(&mut enc);
+        enc.end_section();
+
+        enc.begin_section("tlbs");
+        enc.put_u64(self.tlbs.len() as u64);
+        for tlb in &self.tlbs {
+            tlb.snap_save(&mut enc);
+        }
+        enc.end_section();
+
+        enc.begin_section("stats");
+        self.baseline.snap_save(&mut enc);
+        enc.end_section();
+
+        Ok(enc.finish())
+    }
+
+    /// Restores a machine from [`Machine::save_snapshot`] bytes.
+    ///
+    /// `opts` and `mode` come from the caller — a snapshot carries state,
+    /// never configuration — and must match the saving machine's exactly
+    /// (checked via a fingerprint).
+    ///
+    /// # Errors
+    ///
+    /// [`fsencr_snapshot::SnapError::StateMismatch`] on a fingerprint
+    /// mismatch; decode errors on corrupt or truncated bytes.
+    pub fn restore_snapshot(
+        opts: MachineOpts,
+        mode: SecurityMode,
+        bytes: &[u8],
+    ) -> Result<Machine, fsencr_snapshot::SnapError> {
+        use fsencr_snapshot::SnapError;
+
+        let mut dec = fsencr_snapshot::Dec::new(bytes)?;
+
+        dec.begin_section("machine")?;
+        if dec.get_u64()? != Self::config_fingerprint(&opts, mode) {
+            return Err(SnapError::StateMismatch);
+        }
+        let mem_key = Key128::from_bytes(dec.get_arr16()?);
+        let next_map = dec.get_u32()?;
+        let heap_next = dec.get_u64()?;
+        let journal_cursor = dec.get_u64()?;
+        let batching = dec.get_bool()?;
+        let cores = dec.get_len()?;
+        if cores != opts.config.cpu.cores {
+            return Err(SnapError::StateMismatch);
+        }
+        let mut clocks = Vec::with_capacity(cores);
+        for _ in 0..cores {
+            clocks.push(Cycle::new(dec.get_u64()?));
+        }
+        let n_maps = dec.get_len()?;
+        let mut mappings = HashMap::with_capacity(n_maps);
+        for _ in 0..n_maps {
+            let id = dec.get_u32()?;
+            let ino = Ino::new(dec.get_u32()?);
+            let fek = if dec.get_bool()? {
+                Some(Key128::from_bytes(dec.get_arr16()?))
+            } else {
+                None
+            };
+            let base = dec.get_u64()?;
+            let bytes = dec.get_u64()?;
+            let writable = dec.get_bool()?;
+            mappings.insert(
+                id,
+                Mapping {
+                    ino,
+                    fek,
+                    base,
+                    bytes,
+                    writable,
+                },
+            );
+        }
+        let n_frames = dec.get_len()?;
+        let mut pc_frames = HashMap::with_capacity(n_frames);
+        for _ in 0..n_frames {
+            let ino = dec.get_u32()?;
+            let page = dec.get_u64()? as usize;
+            pc_frames.insert((ino, page), dec.get_u64()?);
+        }
+        let n_free = dec.get_len()?;
+        let mut pc_free = Vec::with_capacity(n_free);
+        for _ in 0..n_free {
+            pc_free.push(dec.get_u64()?);
+        }
+        let n_valid = dec.get_len()?;
+        let mut sw_valid = std::collections::HashSet::with_capacity(n_valid);
+        for _ in 0..n_valid {
+            let ino = dec.get_u32()?;
+            let page = dec.get_u64()? as usize;
+            sw_valid.insert((ino, page));
+        }
+        dec.end_section()?;
+
+        dec.begin_section("hier")?;
+        let hier = Hierarchy::snap_load(&opts.config.cpu, &mut dec)?;
+        dec.end_section()?;
+
+        dec.begin_section("ctrl")?;
+        let data_bytes = opts.general_bytes + opts.pmem_bytes;
+        let layout = MetadataLayout::new(data_bytes, opts.ott_spill_bytes);
+        let ctrl_mode = if mode == SecurityMode::Unencrypted {
+            CtrlMode::Unencrypted
+        } else {
+            CtrlMode::Encrypted
+        };
+        let ctrl = MemoryController::snap_load(
+            ctrl_mode,
+            layout,
+            &opts.config.security,
+            opts.config.nvm,
+            &mut dec,
+        )?;
+        dec.end_section()?;
+
+        dec.begin_section("fs")?;
+        let image = dec.get_blob()?;
+        let mut fs =
+            DaxFs::deserialize(image).map_err(|_| SnapError::Corrupt("filesystem image"))?;
+        *fs.keyring_mut() = fsencr_fs::Keyring::snap_load(&mut dec)?;
+        let page_cache = PageCacheModel::snap_load(opts.softencr.page_cache_pages, &mut dec)?;
+        let pt = PageTable::snap_load(&mut dec)?;
+        dec.end_section()?;
+
+        dec.begin_section("tlbs")?;
+        let n_tlbs = dec.get_len()?;
+        if n_tlbs != cores {
+            return Err(SnapError::StateMismatch);
+        }
+        let mut tlbs = Vec::with_capacity(cores);
+        for _ in 0..cores {
+            tlbs.push(Tlb::snap_load(TLB_ENTRIES, &mut dec)?);
+        }
+        dec.end_section()?;
+
+        dec.begin_section("stats")?;
+        let baseline = StatsSnapshot::snap_load(&mut dec)?;
+        dec.end_section()?;
+
+        dec.finish()?;
+
+        Ok(Machine {
+            mode,
+            opts,
+            hier,
+            ctrl,
+            fs,
+            pt,
+            mappings,
+            next_map,
+            clocks,
+            heap_next,
+            page_cache,
+            soft_cfg: opts.softencr,
+            pc_frames,
+            pc_free,
+            sw_valid,
+            sw_schedules: fsencr_crypto::ScheduleCache::new(),
+            mem_key,
+            journal_cursor,
+            tlbs,
+            tracer: Tracer::new(),
+            baseline,
+            batching,
+            persist_scratch: Vec::new(),
+        })
+    }
+
+    // ------------------------------------------------------------------
     // Observation (cycle-attribution).
     // ------------------------------------------------------------------
 
@@ -907,6 +1179,21 @@ impl Machine {
             },
         );
         Ok(MapId(id))
+    }
+
+    /// Finds an existing mapping of the file at `path` without driving a
+    /// single simulated cycle — a host-side inspection for snapshot
+    /// warm-starts, where a workload re-attaches to the mapping its own
+    /// `setup` created before the snapshot was taken. Returns the oldest
+    /// (lowest-id) live mapping of the file's inode.
+    pub fn mapping_of(&self, path: &str) -> Option<MapId> {
+        let ino = self.fs.stat(path)?.ino();
+        self.mappings
+            .iter()
+            .filter(|(_, m)| m.ino == ino)
+            .map(|(&id, _)| id)
+            .min()
+            .map(MapId)
     }
 
     /// Unmaps a region. In software mode, dirty page-cache pages are

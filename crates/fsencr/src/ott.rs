@@ -170,6 +170,64 @@ impl OpenTunnelTable {
     pub fn reset_stats(&mut self) {
         self.stats = OttStats::default();
     }
+
+    /// Serializes the table. Entry order is written verbatim — `insert`
+    /// uses `swap_remove`, so the physical order is behavioral state.
+    pub fn snap_save(&self, enc: &mut fsencr_snapshot::Enc) {
+        enc.put_u64(self.latency_cycles);
+        enc.put_u64(self.stamp);
+        enc.put_u64(self.entries.len() as u64);
+        for e in &self.entries {
+            enc.put_u32(e.gid);
+            enc.put_u32(e.fid);
+            enc.put_bytes(e.key.as_bytes());
+            enc.put_u64(e.stamp);
+        }
+        enc.put_u64(self.stats.hits.get());
+        enc.put_u64(self.stats.misses.get());
+        enc.put_u64(self.stats.evictions.get());
+    }
+
+    /// Restores a table from [`OpenTunnelTable::snap_save`] bytes.
+    /// `capacity` comes from the live configuration.
+    pub fn snap_load(
+        capacity: usize,
+        dec: &mut fsencr_snapshot::Dec<'_>,
+    ) -> Result<OpenTunnelTable, fsencr_snapshot::SnapError> {
+        if capacity == 0 {
+            return Err(fsencr_snapshot::SnapError::StateMismatch);
+        }
+        let latency_cycles = dec.get_u64()?;
+        let stamp = dec.get_u64()?;
+        let n = dec.get_len()?;
+        if n > capacity {
+            return Err(fsencr_snapshot::SnapError::StateMismatch);
+        }
+        let mut entries = Vec::with_capacity(capacity.min(4096));
+        for _ in 0..n {
+            let gid = dec.get_u32()?;
+            let fid = dec.get_u32()?;
+            let key = Key128::from_bytes(dec.get_arr16()?);
+            let stamp = dec.get_u64()?;
+            entries.push(Entry {
+                gid,
+                fid,
+                key,
+                stamp,
+            });
+        }
+        let mut stats = OttStats::default();
+        stats.hits.add(dec.get_u64()?);
+        stats.misses.add(dec.get_u64()?);
+        stats.evictions.add(dec.get_u64()?);
+        Ok(OpenTunnelTable {
+            entries,
+            capacity,
+            latency_cycles,
+            stamp,
+            stats,
+        })
+    }
 }
 
 impl StatSource for OpenTunnelTable {

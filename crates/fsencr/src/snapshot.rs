@@ -120,6 +120,36 @@ impl StatsSnapshot {
         out
     }
 
+    /// Accumulates `other` into `self`, field by field, including the
+    /// read-latency histogram. Used by epoch replay to stitch per-epoch
+    /// window deltas back into one figure-equivalent measurement.
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        for (slot, v) in field_slots(self).into_iter().zip(field_values(other)) {
+            *slot = slot.saturating_add(v);
+        }
+        self.read_latency.merge(&other.read_latency);
+    }
+
+    /// Serializes every counter (declaration order) plus the histogram.
+    pub fn snap_save(&self, enc: &mut fsencr_snapshot::Enc) {
+        for v in field_values(self) {
+            enc.put_u64(v);
+        }
+        self.read_latency.snap_save(enc);
+    }
+
+    /// Restores a snapshot from [`StatsSnapshot::snap_save`] bytes.
+    pub fn snap_load(
+        dec: &mut fsencr_snapshot::Dec<'_>,
+    ) -> Result<StatsSnapshot, fsencr_snapshot::SnapError> {
+        let mut out = StatsSnapshot::default();
+        for slot in field_slots(&mut out) {
+            *slot = dec.get_u64()?;
+        }
+        out.read_latency = Histogram::snap_load(dec)?;
+        Ok(out)
+    }
+
     /// Metadata-cache hit rate over this snapshot's window.
     pub fn meta_hit_rate(&self) -> f64 {
         hit_rate(self.meta_cache_hits, self.meta_cache_misses)

@@ -129,6 +129,63 @@ impl Tlb {
     pub fn reset_stats(&mut self) {
         self.stats = TlbStats::default();
     }
+
+    /// Serializes the TLB: stamp plus entries sorted by `vpn` (lookups
+    /// hash and eviction keys on the per-entry LRU stamp, so map order is
+    /// not behavioral), then the counters.
+    pub fn snap_save(&self, enc: &mut fsencr_snapshot::Enc) {
+        enc.put_u64(self.stamp);
+        let mut entries: Vec<(u64, u64, bool, u64)> = self
+            .entries
+            .iter()
+            .map(|(&vpn, &(pte, lru))| (vpn, pte.frame.get(), pte.df, lru))
+            .collect();
+        entries.sort_unstable_by_key(|&(vpn, _, _, _)| vpn);
+        enc.put_u64(entries.len() as u64);
+        for (vpn, frame, df, lru) in entries {
+            enc.put_u64(vpn);
+            enc.put_u64(frame);
+            enc.put_bool(df);
+            enc.put_u64(lru);
+        }
+        enc.put_u64(self.stats.hits.get());
+        enc.put_u64(self.stats.misses.get());
+    }
+
+    /// Restores a TLB from [`Tlb::snap_save`] bytes. `capacity` comes from
+    /// the live configuration.
+    pub fn snap_load(
+        capacity: usize,
+        dec: &mut fsencr_snapshot::Dec<'_>,
+    ) -> Result<Tlb, fsencr_snapshot::SnapError> {
+        if capacity == 0 {
+            return Err(fsencr_snapshot::SnapError::StateMismatch);
+        }
+        let stamp = dec.get_u64()?;
+        let n = dec.get_len()?;
+        if n > capacity {
+            return Err(fsencr_snapshot::SnapError::StateMismatch);
+        }
+        let mut entries = HashMap::with_capacity(capacity);
+        for _ in 0..n {
+            let vpn = dec.get_u64()?;
+            let pte = Pte {
+                frame: fsencr_nvm::PageId::new(dec.get_u64()?),
+                df: dec.get_bool()?,
+            };
+            let lru = dec.get_u64()?;
+            entries.insert(vpn, (pte, lru));
+        }
+        let mut stats = TlbStats::default();
+        stats.hits.add(dec.get_u64()?);
+        stats.misses.add(dec.get_u64()?);
+        Ok(Tlb {
+            entries,
+            capacity,
+            stamp,
+            stats,
+        })
+    }
 }
 
 impl StatSource for Tlb {

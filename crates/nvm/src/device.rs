@@ -222,6 +222,51 @@ impl NvmDevice {
     pub fn wear(&self) -> &WearTracker {
         &self.wear
     }
+
+    /// Serializes media contents, bank timing, access counters and wear.
+    /// Fails while a fault injector is armed: campaign scaffolding is
+    /// host state and must be disarmed before checkpointing.
+    pub fn snap_save(
+        &self,
+        enc: &mut fsencr_snapshot::Enc,
+    ) -> Result<(), fsencr_snapshot::SnapError> {
+        if self.faults.is_some() {
+            return Err(fsencr_snapshot::SnapError::InjectorArmed);
+        }
+        self.storage.snap_save(enc)?;
+        self.timing.snap_save(enc);
+        enc.put_u64(self.stats.reads.get());
+        enc.put_u64(self.stats.writes.get());
+        self.wear.snap_save(enc);
+        enc.put_u64(self.capacity_bytes);
+        Ok(())
+    }
+
+    /// Restores a device for `cfg` from [`NvmDevice::snap_save`] bytes.
+    /// No injector is armed on the restored device.
+    pub fn snap_load(
+        cfg: NvmConfig,
+        dec: &mut fsencr_snapshot::Dec<'_>,
+    ) -> Result<NvmDevice, fsencr_snapshot::SnapError> {
+        let storage = Storage::snap_load(dec)?;
+        let timing = BankTiming::snap_load(cfg, dec)?;
+        let mut stats = NvmStats::default();
+        stats.reads.add(dec.get_u64()?);
+        stats.writes.add(dec.get_u64()?);
+        let wear = WearTracker::snap_load(dec)?;
+        let capacity_bytes = dec.get_u64()?;
+        if capacity_bytes != cfg.capacity_bytes {
+            return Err(fsencr_snapshot::SnapError::StateMismatch);
+        }
+        Ok(NvmDevice {
+            storage,
+            timing,
+            stats,
+            wear,
+            capacity_bytes,
+            faults: None,
+        })
+    }
 }
 
 impl StatSource for NvmDevice {

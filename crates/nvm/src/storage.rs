@@ -238,6 +238,58 @@ impl Storage {
             None => [0u8; PAGE_BYTES],
         }
     }
+
+    /// Serializes every resident frame in sorted frame order. The memo
+    /// slot is folded in transparently — where a frame physically lives
+    /// is a host-side cache detail, not media state. Fails while a
+    /// wear-out overlay is installed: stuck cells belong to an armed
+    /// fault campaign, which must be disarmed before checkpointing.
+    pub fn snap_save(
+        &self,
+        enc: &mut fsencr_snapshot::Enc,
+    ) -> Result<(), fsencr_snapshot::SnapError> {
+        if self.stuck.is_some() {
+            return Err(fsencr_snapshot::SnapError::InjectorArmed);
+        }
+        let mut frames: Vec<u64> = Vec::with_capacity(self.resident_pages());
+        frames.extend(self.frames());
+        frames.sort_unstable();
+        enc.put_u64(frames.len() as u64);
+        for f in frames {
+            enc.put_u64(f);
+            match self.page_ref(PageId::new(f)) {
+                Some(page) => enc.put_bytes(&page[..]),
+                None => enc.put_bytes(&[0u8; PAGE_BYTES]),
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores a store from [`Storage::snap_save`] bytes. The memo slot
+    /// starts empty and no overlay is installed.
+    pub fn snap_load(
+        dec: &mut fsencr_snapshot::Dec<'_>,
+    ) -> Result<Storage, fsencr_snapshot::SnapError> {
+        let n = dec.get_len()?;
+        let mut pages = HashMap::with_capacity(n);
+        let mut prev: Option<u64> = None;
+        for _ in 0..n {
+            let frame = dec.get_u64()?;
+            if prev.is_some_and(|p| p >= frame) {
+                return Err(fsencr_snapshot::SnapError::Corrupt("frame order"));
+            }
+            prev = Some(frame);
+            let bytes = dec.get_bytes(PAGE_BYTES)?;
+            let mut page = Box::new([0u8; PAGE_BYTES]);
+            page.copy_from_slice(bytes);
+            pages.insert(frame, page);
+        }
+        Ok(Storage {
+            pages,
+            last: None,
+            stuck: None,
+        })
+    }
 }
 
 #[cfg(test)]

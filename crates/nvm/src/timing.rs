@@ -174,6 +174,58 @@ impl BankTiming {
     pub fn row_misses(&self) -> u64 {
         self.row_misses
     }
+
+    /// Serializes every bank's occupancy and row-buffer state.
+    pub fn snap_save(&self, enc: &mut fsencr_snapshot::Enc) {
+        enc.put_u64(self.banks.len() as u64);
+        for bank in &self.banks {
+            bank.server.snap_save(enc);
+            enc.put_opt_u64(bank.open_row);
+            enc.put_bool(bank.dirty);
+            enc.put_u32(bank.miss_streak);
+            enc.put_bool(bank.closed_mode);
+            enc.put_opt_u64(bank.last_row);
+        }
+        enc.put_u64(self.row_hits);
+        enc.put_u64(self.row_misses);
+    }
+
+    /// Restores a timing model for `cfg` from [`BankTiming::snap_save`]
+    /// bytes. The bank count must match the configuration.
+    pub fn snap_load(
+        cfg: NvmConfig,
+        dec: &mut fsencr_snapshot::Dec<'_>,
+    ) -> Result<BankTiming, fsencr_snapshot::SnapError> {
+        let n = dec.get_len()?;
+        if n != cfg.total_banks() {
+            return Err(fsencr_snapshot::SnapError::StateMismatch);
+        }
+        let mut banks = Vec::with_capacity(n);
+        for _ in 0..n {
+            let server = Resource::snap_load(dec)?;
+            let open_row = dec.get_opt_u64()?;
+            let dirty = dec.get_bool()?;
+            let miss_streak = dec.get_u32()?;
+            let closed_mode = dec.get_bool()?;
+            let last_row = dec.get_opt_u64()?;
+            banks.push(BankState {
+                server,
+                open_row,
+                dirty,
+                miss_streak,
+                closed_mode,
+                last_row,
+            });
+        }
+        let row_hits = dec.get_u64()?;
+        let row_misses = dec.get_u64()?;
+        Ok(BankTiming {
+            cfg,
+            banks,
+            row_hits,
+            row_misses,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -81,6 +81,33 @@ impl WearTracker {
         self.per_page.clear();
         self.total = 0;
     }
+
+    /// Serializes the per-page counters in sorted page order.
+    pub fn snap_save(&self, enc: &mut fsencr_snapshot::Enc) {
+        let mut entries: Vec<(u64, u64)> = self.per_page.iter().map(|(k, v)| (*k, *v)).collect();
+        entries.sort_unstable();
+        enc.put_u64(entries.len() as u64);
+        for (page, count) in entries {
+            enc.put_u64(page);
+            enc.put_u64(count);
+        }
+        enc.put_u64(self.total);
+    }
+
+    /// Restores a tracker from [`WearTracker::snap_save`] bytes.
+    pub fn snap_load(
+        dec: &mut fsencr_snapshot::Dec<'_>,
+    ) -> Result<WearTracker, fsencr_snapshot::SnapError> {
+        let n = dec.get_len()?;
+        let mut per_page = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let page = dec.get_u64()?;
+            let count = dec.get_u64()?;
+            per_page.insert(page, count);
+        }
+        let total = dec.get_u64()?;
+        Ok(WearTracker { per_page, total })
+    }
 }
 
 #[cfg(test)]

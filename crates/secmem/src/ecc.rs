@@ -90,6 +90,31 @@ impl EccStore {
     pub fn is_empty(&self) -> bool {
         self.tags.is_empty()
     }
+
+    /// Serializes every tag in sorted line order.
+    pub fn snap_save(&self, enc: &mut fsencr_snapshot::Enc) {
+        let mut entries: Vec<(u64, [u8; 8])> = self.tags.iter().map(|(k, v)| (*k, *v)).collect();
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        enc.put_u64(entries.len() as u64);
+        for (line, tag) in entries {
+            enc.put_u64(line);
+            enc.put_bytes(&tag);
+        }
+    }
+
+    /// Restores a store from [`EccStore::snap_save`] bytes.
+    pub fn snap_load(
+        dec: &mut fsencr_snapshot::Dec<'_>,
+    ) -> Result<EccStore, fsencr_snapshot::SnapError> {
+        let n = dec.get_len()?;
+        let mut tags = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let line = dec.get_u64()?;
+            let tag = dec.get_arr8()?;
+            tags.insert(line, tag);
+        }
+        Ok(EccStore { tags })
+    }
 }
 
 #[cfg(test)]

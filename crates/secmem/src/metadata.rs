@@ -379,6 +379,8 @@ pub struct MetadataSystem {
     evict_scratch: VecDeque<Eviction>,
     /// Reusable scratch for full-cache flushes.
     dirty_scratch: Vec<Eviction>,
+    /// Reusable scratch for the flush rounds' batch-window address list.
+    flush_scratch: Vec<LineAddr>,
     /// Merkle-coverage oracle: when on, every line this system persists
     /// to NVM is re-verified reachable from the on-chip root (through
     /// trusted cached ancestors) immediately after the persist completes.
@@ -438,6 +440,7 @@ impl MetadataSystem {
             climb_scratch: Vec::with_capacity(16),
             evict_scratch: VecDeque::with_capacity(16),
             dirty_scratch: Vec::with_capacity(64),
+            flush_scratch: Vec::with_capacity(64),
             coverage_oracle: coverage_enabled(),
         }
     }
@@ -1085,10 +1088,18 @@ impl MetadataSystem {
 
     /// Flushes every dirty metadata line to NVM (clean shutdown), keeping
     /// the tree consistent. Returns the completion time.
+    ///
+    /// Each drain round opens one batch window over the round's dirty
+    /// set, exactly like [`MetadataSystem::persist_blocks`]: the
+    /// shared-ancestor planner hashes the round's common Merkle path
+    /// once (peek-only), and the per-line drain below replays with every
+    /// simulated access unchanged. `flush_matches_per_line_drain` proves
+    /// the window leaves cycles, roots and media bit-identical.
     pub fn flush(&mut self, nvm: &mut NvmDevice, now: Cycle) -> Cycle {
         let mut t = now;
         let mut dirty = std::mem::take(&mut self.dirty_scratch);
         let mut queue = std::mem::take(&mut self.evict_scratch);
+        let mut addrs = std::mem::take(&mut self.flush_scratch);
         // bump_parent dirties parents again; iterate until clean.
         loop {
             dirty.clear();
@@ -1096,6 +1107,9 @@ impl MetadataSystem {
             if dirty.is_empty() {
                 break;
             }
+            addrs.clear();
+            addrs.extend(dirty.iter().map(|ev| ev.addr));
+            self.begin_batch(nvm, &addrs);
             queue.clear();
             for ev in &dirty {
                 t = nvm.write_line(t, ev.addr.into_phys(), &ev.data);
@@ -1103,10 +1117,12 @@ impl MetadataSystem {
                 self.assert_covered(nvm, ev.addr);
             }
             t = self.drain_queue(nvm, t, &mut queue);
+            self.end_batch();
         }
         self.pending.clear();
         self.dirty_scratch = dirty;
         self.evict_scratch = queue;
+        self.flush_scratch = addrs;
         t
     }
 
@@ -1122,9 +1138,10 @@ impl MetadataSystem {
 
     /// Rebuilds the whole Merkle tree from NVM contents and installs the
     /// new root — the final step of post-crash recovery, after counters
-    /// have been repaired via the ECC oracle.
-    pub fn rebuild(&mut self, nvm: &mut NvmDevice) {
-        self.rebuild_skipping(nvm, &BTreeSet::new());
+    /// have been repaired via the ECC oracle. Returns the (empty) list
+    /// of reset leaves, mirroring [`MetadataSystem::rebuild_skipping`].
+    pub fn rebuild(&mut self, nvm: &mut NvmDevice) -> Vec<u64> {
+        self.rebuild_skipping(nvm, &BTreeSet::new())
     }
 
     /// [`MetadataSystem::rebuild`] with a quarantine skip list: any leaf
@@ -1144,17 +1161,48 @@ impl MetadataSystem {
     /// worker count and under every [`pool::Schedule`](fsencr_sim::pool::Schedule)
     /// policy. Media pokes stay on the calling thread, merged in tree
     /// order after each level's digests are in.
-    pub fn rebuild_skipping(&mut self, nvm: &mut NvmDevice, skip: &BTreeSet<u64>) {
+    ///
+    /// Returns the leaf addresses actually reset, in ascending order —
+    /// asserted inside to be *exactly* the skip entries that name
+    /// metadata leaves (the exact-repair oracle): no covered leaf
+    /// outside the skip set is ever rewritten by a rebuild, and every
+    /// skip-set leaf is canonical zero on media before the sweep reads
+    /// it.
+    pub fn rebuild_skipping(&mut self, nvm: &mut NvmDevice, skip: &BTreeSet<u64>) -> Vec<u64> {
         let leaves = self.layout.leaves().collect::<Vec<_>>();
         // Serial pre-pass: settle the media image the parallel sweep
         // reads — quarantined leaves are reset to zero first, exactly
         // where the old serial loop poked them.
+        let mut repaired = Vec::with_capacity(skip.len());
         if !skip.is_empty() {
             for l in &leaves {
                 if skip.contains(&l.get()) {
                     nvm.poke_line(l.into_phys(), &[0u8; LINE_BYTES]);
+                    repaired.push(l.get());
                 }
             }
+        }
+        // Exact-repair oracle: cross-check the sweep's repair list
+        // against the layout's own leaf predicate. Non-leaf skip
+        // entries (quarantined data lines) must be ignored, every
+        // predicted leaf must have been reset, and each reset line must
+        // read back as canonical zero.
+        let predicted: Vec<u64> = skip
+            .iter()
+            .copied()
+            .filter(|&a| {
+                a % LINE_BYTES as u64 == 0 && self.layout.is_metadata(LineAddr::new(a))
+            })
+            .collect();
+        assert_eq!(
+            repaired, predicted,
+            "rebuild repaired a different leaf set than the skip set predicts"
+        );
+        for &a in &repaired {
+            assert!(
+                nvm.peek_line(LineAddr::new(a).into_phys()) == [0u8; LINE_BYTES],
+                "skip-set leaf {a:#x} not zero after quarantine reset"
+            );
         }
 
         // Leaf sweep: fixed-size chunks over the shared (now read-only)
@@ -1298,6 +1346,125 @@ impl MetadataSystem {
                 self.assert_covered(nvm, leaf);
             }
         }
+        repaired
+    }
+
+    /// Serializes the simulation-visible state: cache partitions (entry
+    /// order verbatim — LRU victims fall out of `swap_remove` order),
+    /// the on-chip root, pending Osiris deltas (sorted) and behaviour
+    /// counters. Host-side accelerators (digest memo, batch table,
+    /// scratch buffers) are rebuilt cold at restore: they are proven
+    /// cycle-neutral by the batch-equivalence suites, so dropping them
+    /// cannot move a figure.
+    pub fn snap_save(&self, enc: &mut fsencr_snapshot::Enc) {
+        match &self.cache {
+            MetaCaches::Unified(c) => {
+                enc.put_u8(0);
+                c.snap_save(enc);
+            }
+            MetaCaches::Partitioned { mecb, fecb, nodes } => {
+                enc.put_u8(1);
+                mecb.snap_save(enc);
+                fecb.snap_save(enc);
+                nodes.snap_save(enc);
+            }
+        }
+        enc.put_bytes(&self.root);
+        let mut pending: Vec<(u64, u32)> = self.pending.iter().map(|(k, v)| (*k, *v)).collect();
+        pending.sort_unstable();
+        enc.put_u64(pending.len() as u64);
+        for (addr, count) in pending {
+            enc.put_u64(addr);
+            enc.put_u32(count);
+        }
+        for counter in Self::stat_slots_ref(&self.stats) {
+            enc.put_u64(counter);
+        }
+    }
+
+    /// Restores a system for `(layout, cfg)` from
+    /// [`MetadataSystem::snap_save`] bytes. The cache partitioning mode
+    /// must match the configuration the snapshot was taken under. The
+    /// restored instance samples the process-wide coverage-oracle
+    /// default, exactly like a fresh construction.
+    pub fn snap_load(
+        layout: MetadataLayout,
+        cfg: &SecurityConfig,
+        dec: &mut fsencr_snapshot::Dec<'_>,
+    ) -> Result<Self, fsencr_snapshot::SnapError> {
+        let mut sys = MetadataSystem::new(layout, cfg);
+        let tag = dec.get_u8()?;
+        match (&mut sys.cache, tag) {
+            (MetaCaches::Unified(c), 0) => {
+                *c = Cache::snap_load(cfg.metadata_cache, dec)?;
+            }
+            (MetaCaches::Partitioned { mecb, fecb, nodes }, 1) => {
+                let part = |fraction: usize| {
+                    let mut c = cfg.metadata_cache;
+                    c.size_bytes /= fraction;
+                    c
+                };
+                *mecb = Cache::snap_load(part(2), dec)?;
+                *fecb = Cache::snap_load(part(4), dec)?;
+                *nodes = Cache::snap_load(part(4), dec)?;
+            }
+            _ => return Err(fsencr_snapshot::SnapError::StateMismatch),
+        }
+        sys.root = dec.get_arr8()?;
+        let n = dec.get_len()?;
+        for _ in 0..n {
+            let addr = dec.get_u64()?;
+            let count = dec.get_u32()?;
+            sys.pending.insert(addr, count);
+        }
+        for counter in Self::stat_slots_mut(&mut sys.stats) {
+            counter.add(dec.get_u64()?);
+        }
+        Ok(sys)
+    }
+
+    /// The behaviour counters in canonical snapshot order.
+    fn stat_slots_ref(s: &MetaStats) -> [u64; 16] {
+        [
+            s.leaf_hits.get(),
+            s.leaf_misses.get(),
+            s.node_fetches.get(),
+            s.evict_writebacks.get(),
+            s.osiris_persists.get(),
+            s.mecb_hits.get(),
+            s.mecb_misses.get(),
+            s.fecb_hits.get(),
+            s.fecb_misses.get(),
+            s.spill_hits.get(),
+            s.spill_misses.get(),
+            s.node_hits.get(),
+            s.node_misses.get(),
+            s.verify_climbs.get(),
+            s.verify_levels.get(),
+            s.update_bumps.get(),
+        ]
+    }
+
+    /// Mutable twin of [`MetadataSystem::stat_slots_ref`], same order.
+    fn stat_slots_mut(s: &mut MetaStats) -> [&mut Counter; 16] {
+        [
+            &mut s.leaf_hits,
+            &mut s.leaf_misses,
+            &mut s.node_fetches,
+            &mut s.evict_writebacks,
+            &mut s.osiris_persists,
+            &mut s.mecb_hits,
+            &mut s.mecb_misses,
+            &mut s.fecb_hits,
+            &mut s.fecb_misses,
+            &mut s.spill_hits,
+            &mut s.spill_misses,
+            &mut s.node_hits,
+            &mut s.node_misses,
+            &mut s.verify_climbs,
+            &mut s.verify_levels,
+            &mut s.update_bumps,
+        ]
     }
 }
 
@@ -1443,6 +1610,132 @@ mod tests {
         assert_eq!(nvm_b.stats().writes.get(), nvm_s.stats().writes.get());
     }
 
+    #[test]
+    fn flush_matches_per_line_drain() {
+        // Same dirty state flushed twice: once through the batched flush
+        // (each round opens a shared-ancestor batch window), once through
+        // a replica of the legacy per-line drain. Completion time, root,
+        // counters and the entire media image must be bit-identical —
+        // the window only changes who hashes, never what is simulated.
+        let build = || {
+            let (mut sys, mut nvm) = small_setup();
+            let mut t = Cycle::ZERO;
+            for p in 0..6u64 {
+                let mecb = sys.layout().mecb_addr(PageId::new(p));
+                let fecb = sys.layout().fecb_addr(PageId::new(p));
+                t = sys.write_block(&mut nvm, t, mecb, [p as u8 + 1; 64]).unwrap().done;
+                t = sys.write_block(&mut nvm, t, fecb, [p as u8 + 31; 64]).unwrap().done;
+            }
+            (sys, nvm, t)
+        };
+        let (mut batched, mut nvm_b, t0) = build();
+        let (mut serial, mut nvm_s, t0_s) = build();
+        assert_eq!(t0, t0_s);
+
+        let t_b = batched.flush(&mut nvm_b, t0);
+
+        // The legacy flush loop, verbatim, minus the batch window.
+        let mut t_s = t0_s;
+        let mut dirty = Vec::new();
+        let mut queue = VecDeque::new();
+        loop {
+            dirty.clear();
+            serial.cache.for_each_mut(|c| c.drain_dirty_into(&mut dirty));
+            if dirty.is_empty() {
+                break;
+            }
+            queue.clear();
+            for ev in &dirty {
+                t_s = nvm_s.write_line(t_s, ev.addr.into_phys(), &ev.data);
+                t_s = serial.bump_parent(&mut nvm_s, t_s, ev.addr, &ev.data, &mut queue);
+            }
+            t_s = serial.drain_queue(&mut nvm_s, t_s, &mut queue);
+        }
+        serial.pending.clear();
+
+        assert_eq!(t_b, t_s, "flush completion time moved");
+        assert_eq!(batched.root(), serial.root());
+        assert_eq!(batched.stat_rows(), serial.stat_rows());
+        assert_eq!(nvm_b.stats().reads.get(), nvm_s.stats().reads.get());
+        assert_eq!(nvm_b.stats().writes.get(), nvm_s.stats().writes.get());
+        let mut frames_b: Vec<u64> = nvm_b.storage().frames().collect();
+        frames_b.sort_unstable();
+        let mut frames_s: Vec<u64> = nvm_s.storage().frames().collect();
+        frames_s.sort_unstable();
+        assert_eq!(frames_b, frames_s);
+        for f in frames_b {
+            assert_eq!(
+                nvm_b.storage().snapshot_page(PageId::new(f)),
+                nvm_s.storage().snapshot_page(PageId::new(f)),
+                "media diverged in frame {f}"
+            );
+        }
+        // The batched side actually planned; the legacy replica never did.
+        assert!(batched.batch_plan_stats().0 >= 1);
+        assert_eq!(serial.batch_plan_stats().0, 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_behaviour() {
+        // Serialize a warm system mid-stream, restore it, and drive both
+        // with identical traffic: every completion time, root and counter
+        // must stay bit-identical — the restored system is the original.
+        let (mut sys, mut nvm) = small_setup();
+        let mut t = Cycle::ZERO;
+        for p in 0..5u64 {
+            let mecb = sys.layout().mecb_addr(PageId::new(p));
+            t = sys.write_block(&mut nvm, t, mecb, [p as u8 + 7; 64]).unwrap().done;
+        }
+
+        let mut enc = fsencr_snapshot::Enc::new();
+        enc.begin_section("meta");
+        sys.snap_save(&mut enc);
+        enc.end_section();
+        enc.begin_section("nvm");
+        nvm.snap_save(&mut enc).unwrap();
+        enc.end_section();
+        let bytes = enc.finish();
+
+        let mut dec = fsencr_snapshot::Dec::new(&bytes).unwrap();
+        dec.begin_section("meta").unwrap();
+        let layout = MetadataLayout::new(64 * 4096, 4096);
+        let mut cfg = SecurityConfig::default();
+        cfg.metadata_cache = CacheConfig {
+            size_bytes: 64 * 64,
+            ways: 8,
+            block_bytes: 64,
+            latency_cycles: 3,
+        };
+        cfg.osiris_stop_loss = 4;
+        let mut restored = MetadataSystem::snap_load(layout, &cfg, &mut dec).unwrap();
+        dec.end_section().unwrap();
+        dec.begin_section("nvm").unwrap();
+        let mut restored_nvm =
+            NvmDevice::snap_load(NvmConfig::default(), &mut dec).unwrap();
+        dec.end_section().unwrap();
+        dec.finish().unwrap();
+
+        assert_eq!(restored.root(), sys.root());
+        assert_eq!(restored.stat_rows(), sys.stat_rows());
+        let mut t2 = t;
+        for p in 0..5u64 {
+            let fecb = sys.layout().fecb_addr(PageId::new(p));
+            let a = sys.write_block(&mut nvm, t, fecb, [p as u8 + 77; 64]).unwrap();
+            let b = restored
+                .write_block(&mut restored_nvm, t2, fecb, [p as u8 + 77; 64])
+                .unwrap();
+            assert_eq!(a, b);
+            t = a.done;
+            t2 = b.done;
+        }
+        let tf_a = sys.flush(&mut nvm, t);
+        let tf_b = restored.flush(&mut restored_nvm, t2);
+        assert_eq!(tf_a, tf_b);
+        assert_eq!(sys.root(), restored.root());
+        assert_eq!(nvm.stats().reads.get(), restored_nvm.stats().reads.get());
+        assert_eq!(nvm.stats().writes.get(), restored_nvm.stats().writes.get());
+    }
+
     /// `set_jobs`/`set_schedule` are process-global; rebuild-determinism
     /// tests that move them off the defaults serialize behind this lock.
     static POOL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
@@ -1491,11 +1784,12 @@ mod tests {
         assert_eq!(batched.stat_rows(), serial.stat_rows());
         assert_eq!(nvm_b.stats().reads.get(), nvm_s.stats().reads.get());
         assert_eq!(nvm_b.stats().writes.get(), nvm_s.stats().writes.get());
-        // The batched side actually planned; the legacy side never does.
+        // The batched side planned one extra window beyond the shared
+        // warmup (whose flush rounds plan on both sides identically).
         let (plans, seeded) = batched.batch_plan_stats();
-        assert_eq!(plans, 1);
+        let (base_plans, _) = serial.batch_plan_stats();
+        assert_eq!(plans, base_plans + 1);
         assert!(seeded > 0, "cold climbs should have pre-hashed content");
-        assert_eq!(serial.batch_plan_stats(), (0, 0));
     }
 
     #[test]
@@ -1517,8 +1811,10 @@ mod tests {
             assert_eq!(nvm_b.peek_line(addr.into_phys()), nvm_s.peek_line(addr.into_phys()));
         }
         assert_eq!(nvm_b.stats().writes.get(), nvm_s.stats().writes.get());
-        assert_eq!(batched.batch_plan_stats().0, 1);
-        assert_eq!(serial.batch_plan_stats().0, 0);
+        assert_eq!(
+            batched.batch_plan_stats().0,
+            serial.batch_plan_stats().0 + 1
+        );
     }
 
     #[test]
@@ -1573,7 +1869,12 @@ mod tests {
         pool::set_jobs(1);
         pool::set_schedule(pool::Schedule::Fifo);
         let (mut ref_sys, mut ref_nvm) = build();
-        ref_sys.rebuild_skipping(&mut ref_nvm, &skip);
+        let repaired = ref_sys.rebuild_skipping(&mut ref_nvm, &skip);
+        assert_eq!(
+            repaired,
+            skip.iter().copied().collect::<Vec<_>>(),
+            "rebuild must repair exactly the skip-set leaves"
+        );
         let want_root = ref_sys.root();
 
         let node_lines = |sys: &MetadataSystem, nvm: &NvmDevice| -> Vec<[u8; 64]> {
@@ -1597,7 +1898,8 @@ mod tests {
                 pool::set_jobs(jobs);
                 pool::set_schedule(sched);
                 let (mut sys, mut nvm) = build();
-                sys.rebuild_skipping(&mut nvm, &skip);
+                let got = sys.rebuild_skipping(&mut nvm, &skip);
+                assert_eq!(got, repaired, "jobs={jobs} {sched:?}");
                 assert_eq!(sys.root(), want_root, "jobs={jobs} {sched:?}");
                 assert_eq!(node_lines(&sys, &nvm), want_nodes, "jobs={jobs} {sched:?}");
             }
@@ -1680,9 +1982,57 @@ mod tests {
         sys.write_block(&mut nvm, Cycle::ZERO, addr, [3u8; 64]).unwrap();
         sys.flush(&mut nvm, Cycle::ZERO);
         sys.crash();
-        sys.rebuild(&mut nvm);
+        assert!(sys.rebuild(&mut nvm).is_empty(), "plain rebuild repairs nothing");
         let (bytes, _) = sys.read_block(&mut nvm, Cycle::ZERO, addr).unwrap();
         assert_eq!(bytes, [3u8; 64]);
+    }
+
+    #[test]
+    fn rebuild_repairs_exactly_the_skip_set_leaves() {
+        let (mut sys, mut nvm) = small_setup();
+        let mut t = Cycle::ZERO;
+        for p in 0..10u64 {
+            let mecb = sys.layout().mecb_addr(PageId::new(p));
+            t = sys.write_block(&mut nvm, t, mecb, [p as u8 + 1; 64]).unwrap().done;
+        }
+        sys.flush(&mut nvm, t);
+        sys.crash();
+
+        // Skip set: two quarantined metadata leaves plus a data-line
+        // address the rebuild must ignore.
+        let q1 = sys.layout().mecb_addr(PageId::new(3)).get();
+        let q2 = sys.layout().fecb_addr(PageId::new(8)).get();
+        let data_line = 2 * 64; // well inside the data region
+        let skip: BTreeSet<u64> = [q1, q2, data_line].into_iter().collect();
+
+        let before: Vec<[u8; 64]> = sys
+            .layout()
+            .leaves()
+            .map(|l| nvm.peek_line(l.into_phys()))
+            .collect();
+        let repaired = sys.rebuild_skipping(&mut nvm, &skip);
+
+        // The repair list is exactly the metadata members of the skip
+        // set, ascending; the data-line entry is ignored.
+        assert_eq!(repaired, {
+            let mut want = vec![q1, q2];
+            want.sort_unstable();
+            want
+        });
+        // Every other covered leaf is byte-identical to its pre-rebuild
+        // media image; the repaired ones are canonical zero.
+        for (leaf, old) in sys.layout().leaves().zip(&before) {
+            let now = nvm.peek_line(leaf.into_phys());
+            if repaired.contains(&leaf.get()) {
+                assert_eq!(now, [0u8; 64], "repaired leaf {leaf:?} not zeroed");
+            } else {
+                assert_eq!(now, *old, "rebuild touched non-skip leaf {leaf:?}");
+            }
+        }
+        // And the rebuilt tree verifies over the repaired media.
+        let ok = sys.layout().mecb_addr(PageId::new(5));
+        let (bytes, _) = sys.read_block(&mut nvm, Cycle::ZERO, ok).unwrap();
+        assert_eq!(bytes, [6u8; 64]);
     }
 
     #[test]

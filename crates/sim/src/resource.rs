@@ -67,6 +67,24 @@ impl Resource {
     pub fn busy_cycles(&self) -> u64 {
         self.busy_cycles
     }
+
+    /// Serializes the occupancy state into a snapshot section.
+    pub fn snap_save(&self, enc: &mut fsencr_snapshot::Enc) {
+        enc.put_u64(self.busy_until.get());
+        enc.put_u64(self.served);
+        enc.put_u64(self.busy_cycles);
+    }
+
+    /// Restores occupancy state from a snapshot section.
+    pub fn snap_load(
+        dec: &mut fsencr_snapshot::Dec<'_>,
+    ) -> Result<Resource, fsencr_snapshot::SnapError> {
+        Ok(Resource {
+            busy_until: Cycle::new(dec.get_u64()?),
+            served: dec.get_u64()?,
+            busy_cycles: dec.get_u64()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -305,6 +305,28 @@ impl Histogram {
         self.count += other.count;
         self.sum += other.sum;
     }
+
+    /// Serializes the histogram into a snapshot section.
+    pub fn snap_save(&self, enc: &mut fsencr_snapshot::Enc) {
+        for b in &self.buckets {
+            enc.put_u64(*b);
+        }
+        enc.put_u64(self.count);
+        enc.put_u64(self.sum);
+    }
+
+    /// Restores a histogram from a snapshot section.
+    pub fn snap_load(
+        dec: &mut fsencr_snapshot::Dec<'_>,
+    ) -> Result<Histogram, fsencr_snapshot::SnapError> {
+        let mut h = Histogram::new();
+        for b in h.buckets.iter_mut() {
+            *b = dec.get_u64()?;
+        }
+        h.count = dec.get_u64()?;
+        h.sum = dec.get_u64()?;
+        Ok(h)
+    }
 }
 
 #[cfg(test)]

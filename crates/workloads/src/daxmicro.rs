@@ -72,6 +72,18 @@ impl Workload for DaxStride {
         opts
     }
 
+    fn setup_spec(&self) -> String {
+        // Setup materialises the file and nothing else: the stride and
+        // read count only matter in the measured phase, so one snapshot
+        // warm-starts DAX-1, DAX-2 and every scale of either.
+        format!("dax-stride-setup(file_bytes={})", self.file_bytes)
+    }
+
+    fn attach(&mut self, m: &Machine) -> bool {
+        self.map = m.mapping_of("dax-stride.bin");
+        self.map.is_some()
+    }
+
     fn setup(&mut self, m: &mut Machine) -> Result<(), MachineError> {
         let h = m.create(
             UserId::new(1),
@@ -157,6 +169,15 @@ impl Workload for DaxSwap {
     fn configure(&self, mut opts: MachineOpts) -> MachineOpts {
         opts.pmem_bytes = (self.file_bytes * 2).next_power_of_two().max(32 << 20);
         opts
+    }
+
+    fn setup_spec(&self) -> String {
+        format!("dax-swap-setup(file_bytes={})", self.file_bytes)
+    }
+
+    fn attach(&mut self, m: &Machine) -> bool {
+        self.map = m.mapping_of("dax-swap.bin");
+        self.map.is_some()
     }
 
     fn setup(&mut self, m: &mut Machine) -> Result<(), MachineError> {

@@ -28,6 +28,30 @@ pub trait Workload {
         opts
     }
 
+    /// A stable specification of the *setup phase only*: two instances
+    /// with the same `setup_spec()` (and machine options) leave the
+    /// machine in an identical post-setup state. Used as the
+    /// content-addressed key of warm-start snapshots, so it must cover
+    /// every parameter `setup` reads — but may omit measured-phase knobs
+    /// (operation counts, strides), letting one snapshot warm-start many
+    /// scales of the same cell. Defaults to the full [`Workload::spec`],
+    /// which is always safe.
+    fn setup_spec(&self) -> String {
+        self.spec()
+    }
+
+    /// Re-attaches to a machine restored from a post-setup snapshot:
+    /// rebuilds the host-side state `setup` left in `self` (map handles,
+    /// engine shards) *without driving any simulated operation*, so the
+    /// restored machine stays bit-identical to one whose setup ran
+    /// in-process. Returns `false` (the default) when the workload does
+    /// not support warm starts; the caller then falls back to a cold
+    /// `setup`.
+    fn attach(&mut self, m: &Machine) -> bool {
+        let _ = m;
+        false
+    }
+
     /// Creates files and preloads data. Not measured.
     ///
     /// # Errors
@@ -78,6 +102,77 @@ pub fn run_workload(
     })
 }
 
+/// Outcome of a [`run_workload_warm`] call.
+#[derive(Debug, Clone)]
+pub struct WarmRun {
+    /// The measured result, identical either way (warm or cold).
+    pub result: RunResult,
+    /// Whether the run restored its post-setup state from the snapshot.
+    pub warm: bool,
+    /// Fresh post-setup snapshot bytes to store for the next run — only
+    /// present after a cold setup by a warm-start-capable workload.
+    pub snapshot: Option<Vec<u8>>,
+}
+
+/// [`run_workload`] with snapshot warm-start: when `snapshot` holds a
+/// post-setup machine image for this `(opts, mode, setup_spec)` cell,
+/// the machine is restored from it and [`Workload::attach`] rebuilds the
+/// workload's host-side state, skipping the simulated setup entirely.
+/// The snapshot round-trip theorem (see the `snapshot_roundtrip` suite)
+/// makes the restored machine bit-identical to one whose setup ran
+/// in-process, so the measured statistics are identical either way.
+///
+/// Restore failures (stale, corrupt, or mismatched bytes) and workloads
+/// without [`Workload::attach`] support silently fall back to the cold
+/// path: the snapshot store is an accelerator, never a dependency.
+///
+/// # Errors
+///
+/// Propagates machine failures from setup or run.
+pub fn run_workload_warm(
+    base_opts: MachineOpts,
+    mode: SecurityMode,
+    workload: &mut dyn Workload,
+    snapshot: Option<&[u8]>,
+) -> Result<WarmRun, MachineError> {
+    let opts = workload.configure(base_opts);
+    let mut machine = None;
+    if let Some(bytes) = snapshot {
+        if let Ok(m) = Machine::restore_snapshot(opts, mode, bytes) {
+            if workload.attach(&m) {
+                machine = Some(m);
+            }
+        }
+    }
+    let warm = machine.is_some();
+    let mut fresh = None;
+    let mut m = match machine {
+        Some(m) => m,
+        None => {
+            let mut m = Machine::new(opts, mode);
+            workload.setup(&mut m)?;
+            // Only offer a snapshot for storage if this workload can
+            // actually consume it next time.
+            if workload.attach(&m) {
+                fresh = m.save_snapshot().ok();
+            }
+            m
+        }
+    };
+    m.begin_measurement();
+    workload.run(&mut m)?;
+    m.sync_cores();
+    Ok(WarmRun {
+        result: RunResult {
+            workload: workload.name(),
+            mode,
+            stats: m.measurement(),
+        },
+        warm,
+        snapshot: fresh,
+    })
+}
+
 /// [`run_workload`] plus cycle attribution: the run phase executes with
 /// the machine's observer enabled, and the result carries the observer
 /// (metrics + spans) and the raw [`StatsSnapshot`] window next to the
@@ -93,6 +188,9 @@ pub struct ProfiledRun {
     /// Machine-level trace events (page faults, key installs, shreds,
     /// crashes) recorded over the same window.
     pub trace: Vec<fsencr::trace::TraceEvent>,
+    /// Merkle batch-planner telemetry over the whole run: `(plans,
+    /// digests seeded)` — host-side attribution, cycle-neutral.
+    pub plan_stats: (u64, u64),
 }
 
 /// Builds a machine, runs `workload` under `mode` with the
@@ -131,6 +229,7 @@ pub fn profile_workload(
         observer: m.observer().clone(),
         window: m.measurement_snapshot(),
         trace: m.trace(),
+        plan_stats: m.controller().batch_plan_stats(),
     })
 }
 

@@ -156,6 +156,33 @@ impl Workload for PmemKv {
         opts
     }
 
+    fn setup_spec(&self) -> String {
+        // The five preloading benches (overwrite/read/delete) share one
+        // post-setup state: only `needs_preload` matters, not which
+        // measured phase follows. `ops_per_thread` stays in the key
+        // because the prefault extent depends on it.
+        format!(
+            "pmemkv-setup(preload={},value_bytes={},keys_per_thread={},ops_per_thread={},threads={})",
+            self.bench.needs_preload(),
+            self.value_bytes,
+            self.keys_per_thread,
+            self.ops_per_thread,
+            self.threads
+        )
+    }
+
+    fn attach(&mut self, m: &Machine) -> bool {
+        let mut trees = Vec::with_capacity(self.threads);
+        for t in 0..self.threads {
+            match m.mapping_of(&format!("pmemkv-{t}.db")) {
+                Some(map) => trees.push(BTreeKv::attach(map)),
+                None => return false,
+            }
+        }
+        self.trees = trees;
+        true
+    }
+
     fn setup(&mut self, m: &mut Machine) -> Result<(), MachineError> {
         let user = UserId::new(1);
         let group = GroupId::new(1);

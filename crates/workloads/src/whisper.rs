@@ -78,6 +78,29 @@ impl Workload for Ycsb {
         opts
     }
 
+    fn setup_spec(&self) -> String {
+        // Preload size and worker count fix the post-setup state; the op
+        // count only drives the measured phase, so one snapshot serves
+        // every scale.
+        format!(
+            "ycsb-setup(records_per_worker={},workers={})",
+            self.records_per_worker, self.workers
+        )
+    }
+
+    fn attach(&mut self, m: &Machine) -> bool {
+        let slots = (self.records_per_worker * 2).next_power_of_two();
+        let mut tables = Vec::with_capacity(self.workers);
+        for w in 0..self.workers {
+            match m.mapping_of(&format!("ycsb-{w}.db")) {
+                Some(map) => tables.push(HashKv::attach(map, slots, VALUE_BYTES as u64)),
+                None => return false,
+            }
+        }
+        self.tables = tables;
+        true
+    }
+
     fn setup(&mut self, m: &mut Machine) -> Result<(), MachineError> {
         self.tables.clear();
         for w in 0..self.workers {
@@ -176,6 +199,19 @@ impl Workload for HashmapBench {
         opts
     }
 
+    fn attach(&mut self, m: &Machine) -> bool {
+        let slots = (self.ops_per_thread * 2).next_power_of_two();
+        let mut tables = Vec::with_capacity(self.threads);
+        for t in 0..self.threads {
+            match m.mapping_of(&format!("hashmap-{t}.db")) {
+                Some(map) => tables.push(HashKv::attach(map, slots, VALUE_BYTES as u64)),
+                None => return false,
+            }
+        }
+        self.tables = tables;
+        true
+    }
+
     fn setup(&mut self, m: &mut Machine) -> Result<(), MachineError> {
         self.tables.clear();
         for t in 0..self.threads {
@@ -266,6 +302,18 @@ impl Workload for CtreeBench {
             .next_power_of_two()
             .max(32 << 20);
         opts
+    }
+
+    fn attach(&mut self, m: &Machine) -> bool {
+        let mut trees = Vec::with_capacity(self.threads);
+        for t in 0..self.threads {
+            match m.mapping_of(&format!("ctree-{t}.db")) {
+                Some(map) => trees.push(CtreeKv::attach(map, VALUE_BYTES as u64)),
+                None => return false,
+            }
+        }
+        self.trees = trees;
+        true
     }
 
     fn setup(&mut self, m: &mut Machine) -> Result<(), MachineError> {

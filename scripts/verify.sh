@@ -42,6 +42,13 @@ cargo test -q -p fsencr-secmem --lib verify_lines
 cargo test -q -p fsencr-secmem --lib parallel_rebuild
 finish
 
+begin "snapshot subsystem: codec round-trip + warm-start equivalence + figure determinism"
+cargo test -q -p fsencr-snapshot
+cargo test -q -p fsencr --test snapshot_roundtrip
+cargo test -q -p fsencr-workloads --test warm_start
+cargo test -q -p fsencr-bench --test snapshot_determinism
+finish
+
 begin "security-oracle replay: figures + rekey + crash recovery under armed oracles"
 cargo test -q -p fsencr-bench --test oracle_replay
 finish
@@ -83,6 +90,30 @@ fi
 rm -rf "$faults_dir"
 finish
 
+begin "snapshot save -> restore + warm-start figure byte-diff"
+snap_dir="$(mktemp -d)"
+(
+    cd "$snap_dir"
+    # The CLI round-trip: save a post-setup image, list its sections,
+    # restore it. Any digest/fingerprint mismatch exits non-zero.
+    "$OLDPWD/target/release/harness" snapshot save MACHINE.snap
+    "$OLDPWD/target/release/harness" snapshot info MACHINE.snap >/dev/null
+    "$OLDPWD/target/release/harness" snapshot load MACHINE.snap >/dev/null
+    # Figure byte-diff: a cold run populates CACHE_snapshots/, a warm
+    # run at a different worker count restores from it — the printed
+    # figures must be byte-identical.
+    "$OLDPWD/target/release/harness" --jobs 1 fig12-14 0.01 >fig_cold.txt
+    rm -f CACHE_cells.json
+    "$OLDPWD/target/release/harness" --jobs 4 fig12-14 0.01 >fig_warm.txt
+    if ! cmp -s fig_cold.txt fig_warm.txt; then
+        echo "FAIL: warm-started figures differ from cold-setup figures" >&2
+        diff fig_cold.txt fig_warm.txt >&2 || true
+        exit 1
+    fi
+)
+rm -rf "$snap_dir"
+finish
+
 begin "static analysis self-test: the gate must fail on the seeded-violation fixtures"
 if cargo run --release -q -p analysis -- lint --root crates/analysis/fixtures/violations >/tmp/fsencr_lint_fixture.out 2>&1; then
     echo "FAIL: source passes reported the seeded-violation fixture tree as clean" >&2
@@ -91,7 +122,7 @@ fi
 # The fixture tree seeds violations in every guarded crate class,
 # including the observability and fault-injection crates; each must
 # actually be reported.
-for seeded in "crates/bench/src/lib.rs" "crates/fsencr/src/lib.rs" "crates/obs/src/lib.rs" "crates/fsencr/src/batch.rs" "crates/secmem/src/batch.rs" "crates/crypto/src/lanes.rs" "crates/faults/src/inject.rs"; do
+for seeded in "crates/bench/src/lib.rs" "crates/fsencr/src/lib.rs" "crates/obs/src/lib.rs" "crates/fsencr/src/batch.rs" "crates/secmem/src/batch.rs" "crates/crypto/src/lanes.rs" "crates/faults/src/inject.rs" "crates/snapshot/src/lib.rs"; do
     if ! grep -q "$seeded" /tmp/fsencr_lint_fixture.out; then
         echo "FAIL: lint did not flag seeded violations in $seeded" >&2
         exit 1
